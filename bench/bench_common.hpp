@@ -1,0 +1,71 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace locpriv::bench {
+
+/// Prints the bench header: experiment id, seeds, and corpus scale, so every
+/// bench log is self-describing and reproducible.
+inline void print_header(const std::string& experiment, bool uses_mobility_corpus) {
+  std::cout << "==============================================================\n"
+            << experiment << '\n'
+            << "==============================================================\n";
+  if (uses_mobility_corpus) {
+    const auto scale = core::experiment_scale();
+    std::cout << "corpus: " << scale.user_count << " users x " << scale.days
+              << " days (seed " << core::kDatasetSeed
+              << "); set LOCPRIV_REDUCED_SCALE=1 for a quick 60 x 8 run\n";
+  } else {
+    std::cout << "catalog seed: " << core::kCatalogSeed << "\n";
+  }
+  std::cout << '\n';
+}
+
+/// One "paper vs measured" comparison line.
+inline void print_comparison(const std::string& what, const std::string& paper,
+                             const std::string& measured) {
+  std::cout << "  " << what << ": paper=" << paper << "  measured=" << measured << '\n';
+}
+
+/// Plot-ready series export: when LOCPRIV_CSV_DIR is set, each series named
+/// by the bench is written to <dir>/<name>.csv; otherwise every call is a
+/// no-op, so benches can emit unconditionally.
+class SeriesCsv {
+ public:
+  /// `name` becomes the file stem (e.g. "fig3_poi_frequency").
+  explicit SeriesCsv(const std::string& name) {
+    const char* dir = std::getenv("LOCPRIV_CSV_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    out_ = std::make_unique<std::ofstream>(path);
+    if (!*out_) {
+      std::cerr << "warning: cannot write " << path << '\n';
+      out_.reset();
+      return;
+    }
+    writer_ = std::make_unique<util::CsvWriter>(*out_);
+    std::cout << "(series -> " << path << ")\n";
+  }
+
+  /// Writes one CSV row when export is active.
+  void row(const std::vector<std::string>& fields) {
+    if (writer_) writer_->write_row(fields);
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> out_;
+  std::unique_ptr<util::CsvWriter> writer_;
+};
+
+}  // namespace locpriv::bench

@@ -1,0 +1,161 @@
+// E10 — google-benchmark microbenchmarks for the hot algorithmic kernels:
+// stay-point extraction, decimation, histogram construction, chi-square
+// matching, adversary identification, and trip synthesis.
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.hpp"
+#include "mobility/synthesis.hpp"
+#include "poi/clustering.hpp"
+#include "poi/staypoint.hpp"
+#include "privacy/detection.hpp"
+#include "privacy/prediction.hpp"
+#include "privacy/uniqueness.hpp"
+#include "lppm/policy.hpp"
+#include "trace/sampling.hpp"
+
+namespace {
+
+using namespace locpriv;
+
+// One simulated user's full-rate trace, built once.
+const std::vector<trace::TracePoint>& sample_points() {
+  static const std::vector<trace::TracePoint> points = [] {
+    mobility::DatasetConfig config;
+    config.user_count = 1;
+    config.synthesis.days = 8;
+    return mobility::generate_dataset(config).users[0].flattened();
+  }();
+  return points;
+}
+
+// A small analyzer for matcher/adversary benchmarks.
+const core::PrivacyAnalyzer& bench_analyzer() {
+  static const core::PrivacyAnalyzer analyzer = [] {
+    mobility::DatasetConfig config;
+    config.user_count = 16;
+    config.synthesis.days = 6;
+    return core::PrivacyAnalyzer::from_synthetic(core::AnalyzerConfig{}, config);
+  }();
+  return analyzer;
+}
+
+void BM_StayPointExtraction(benchmark::State& state) {
+  const auto& points = sample_points();
+  poi::ExtractionParams params;
+  params.window_fixes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poi::extract_stay_points(points, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_StayPointExtraction)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_StayPointExtractionAnchor(benchmark::State& state) {
+  const auto& points = sample_points();
+  const poi::ExtractionParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poi::extract_stay_points_anchor(points, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_StayPointExtractionAnchor);
+
+void BM_Decimate(benchmark::State& state) {
+  const auto& points = sample_points();
+  const std::int64_t interval = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::decimate(points, interval));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_Decimate)->Arg(10)->Arg(600);
+
+void BM_ObservedHistogram(benchmark::State& state) {
+  const auto& analyzer = bench_analyzer();
+  const auto& points = analyzer.reference(0).points;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(privacy::observed_histogram(
+        points, privacy::Pattern::kMovements, analyzer.config().extraction,
+        analyzer.grid(), 1));
+  }
+}
+BENCHMARK(BM_ObservedHistogram);
+
+void BM_HistogramMatch(benchmark::State& state) {
+  const auto& analyzer = bench_analyzer();
+  const auto& profile = analyzer.reference(0).movements;
+  const auto observed = privacy::observed_histogram(
+      analyzer.reference(0).points, privacy::Pattern::kMovements,
+      analyzer.config().extraction, analyzer.grid(), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        privacy::match_histograms(observed, profile, analyzer.config().match));
+  }
+}
+BENCHMARK(BM_HistogramMatch);
+
+void BM_AdversaryIdentify(benchmark::State& state) {
+  const auto& analyzer = bench_analyzer();
+  const auto observed = privacy::observed_histogram(
+      analyzer.reference(0).points, privacy::Pattern::kMovements,
+      analyzer.config().extraction, analyzer.grid(), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.adversary().identify(
+        observed, privacy::Pattern::kMovements, analyzer.config().match));
+  }
+}
+BENCHMARK(BM_AdversaryIdentify);
+
+void BM_UnicityQuery(benchmark::State& state) {
+  const auto& analyzer = bench_analyzer();
+  std::vector<std::set<privacy::StPoint>> corpus;
+  for (std::size_t u = 0; u < analyzer.user_count(); ++u)
+    corpus.push_back(privacy::quantize_trace(
+        trace::decimate(analyzer.reference(u).points, 60), analyzer.grid(), 1));
+  stats::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(privacy::unicity(corpus, 3, 2, rng));
+  }
+}
+BENCHMARK(BM_UnicityQuery);
+
+void BM_NextPlacePrediction(benchmark::State& state) {
+  const auto& analyzer = bench_analyzer();
+  const privacy::NextPlacePredictor predictor(analyzer.reference(0).movements);
+  const auto sequence =
+      privacy::region_sequence(analyzer.reference(0).pois, analyzer.grid());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(privacy::score_predictions(predictor, sequence));
+  }
+}
+BENCHMARK(BM_NextPlacePrediction);
+
+void BM_GuardianPolicyApply(benchmark::State& state) {
+  lppm::GuardianPolicy policy({39.9042, 116.4074}, 1000.0);
+  policy.protect_place({39.91, 116.41}, 200.0);
+  geo::LatLon position{39.95, 116.45};
+  for (auto _ : state) {
+    geo::LatLon p = position;
+    benchmark::DoNotOptimize(policy.apply("com.app", true, p));
+  }
+}
+BENCHMARK(BM_GuardianPolicyApply);
+
+void BM_TripSynthesisPerDay(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    mobility::DatasetConfig config;
+    config.user_count = 1;
+    config.synthesis.days = 4;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mobility::generate_dataset(config));
+  }
+}
+BENCHMARK(BM_TripSynthesisPerDay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

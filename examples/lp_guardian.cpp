@@ -1,0 +1,119 @@
+// LP-Guardian on device: rerun the end-to-end background attack with the
+// release policy installed in the platform, and compare what the spy app
+// steals with and without protection.
+//
+//   $ ./examples/lp_guardian [interval_s]
+#include <cstdlib>
+#include <iostream>
+
+#include "android/replay.hpp"
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "lppm/policy.hpp"
+#include "poi/clustering.hpp"
+#include "privacy/detection.hpp"
+#include "privacy/metrics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace locpriv;
+
+struct AttackOutcome {
+  std::size_t stolen_fixes = 0;
+  privacy::PoiRecovery recovery;
+  bool identified = false;
+};
+
+AttackOutcome run_attack(const core::PrivacyAnalyzer& analyzer, std::size_t victim,
+                         std::int64_t interval, const lppm::GuardianPolicy* policy) {
+  const auto& reference = analyzer.reference(victim);
+  android::DeviceSimulator phone(99, reference.points.front().position);
+  phone.jump_to(reference.points.front().timestamp_s - 1);
+
+  android::AndroidManifest manifest;
+  manifest.package_name = "com.spy";
+  manifest.uses_permissions = {android::Permission::kAccessFineLocation};
+  android::AppBehavior behavior;
+  behavior.uses_location = true;
+  behavior.auto_start_on_launch = true;
+  behavior.continues_in_background = true;
+  behavior.providers = {android::LocationProvider::kGps};
+  behavior.request_interval_s = interval;
+  phone.install(manifest, behavior);
+  phone.launch(manifest.package_name);
+  phone.move_to_background(manifest.package_name);
+
+  if (policy != nullptr) {
+    phone.location_manager().set_release_hook(
+        [&phone, policy](const std::string& package, android::Location& fix) {
+          const bool backgrounded =
+              phone.app(package).state == android::AppState::kBackground;
+          return policy->apply(package, backgrounded, fix.position);
+        });
+  }
+
+  android::replay_trace(phone, reference.points, /*sync_clock=*/false);
+  const auto stolen =
+      android::collected_fixes(phone.location_manager(), manifest.package_name);
+
+  AttackOutcome outcome;
+  outcome.stolen_fixes = stolen.size();
+  const auto stays =
+      poi::extract_stay_points(stolen, analyzer.config().extraction);
+  const auto pois =
+      poi::cluster_stay_points(stays, analyzer.config().extraction.radius_m);
+  outcome.recovery = privacy::poi_recovery(reference.pois, pois,
+                                           analyzer.config().extraction.radius_m);
+  const auto observed = privacy::movement_histogram(pois, analyzer.grid());
+  if (!observed.empty()) {
+    const auto result = analyzer.adversary().identify(
+        observed, privacy::Pattern::kMovements, analyzer.config().match);
+    outcome.identified =
+        result.matched.size() == 1 && result.matched.front() == victim;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t interval = argc > 1 ? std::atoll(argv[1]) : 30;
+
+  mobility::DatasetConfig dataset;
+  dataset.user_count = 16;
+  dataset.synthesis.days = 8;
+  const core::PrivacyAnalyzer analyzer = core::PrivacyAnalyzer::from_synthetic(
+      core::experiment_analyzer_config(), dataset);
+  const std::size_t victim = 3;
+  const auto& reference = analyzer.reference(victim);
+
+  // The policy: coarse release in background, home blocked for everyone.
+  // Home = the victim's most-dwelled reference PoI.
+  const poi::Poi* home = &reference.pois.front();
+  for (const auto& poi : reference.pois)
+    if (poi.visit_count() > home->visit_count()) home = &poi;
+  lppm::GuardianPolicy policy(analyzer.grid().projection().origin(), 1000.0);
+  policy.protect_place(home->centroid, 200.0);
+
+  std::cout << "victim: user " << reference.user_id << ", spy polling every "
+            << interval << " s in background\n\n";
+  util::ConsoleTable table(
+      {"platform", "fixes stolen", "PoIs recovered", "identified"});
+  const AttackOutcome naked = run_attack(analyzer, victim, interval, nullptr);
+  const AttackOutcome guarded = run_attack(analyzer, victim, interval, &policy);
+  table.add_row({"stock Android 4.4", std::to_string(naked.stolen_fixes),
+                 util::format_percent(naked.recovery.fraction(), 0),
+                 naked.identified ? "YES" : "no"});
+  table.add_row({"with LP-Guardian policy", std::to_string(guarded.stolen_fixes),
+                 util::format_percent(guarded.recovery.fraction(), 0),
+                 guarded.identified ? "YES" : "no"});
+  table.print(std::cout);
+
+  std::cout << "\nThe policy coarsens background releases to 1 km cells and\n"
+               "blocks fixes near the protected home, so the spy's stream\n"
+               "no longer supports stay-point extraction or identification,\n"
+               "while foreground apps would still get true fixes.\n";
+  return 0;
+}

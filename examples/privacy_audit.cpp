@@ -1,0 +1,79 @@
+// Privacy audit: what does the measured background-app population learn
+// about one user? Crosses the Section III measurement (the intervals real
+// background apps poll at) with the Section IV privacy pipeline, the way
+// the paper's two halves combine.
+//
+//   $ ./examples/privacy_audit [user_index]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "market/catalog.hpp"
+#include "market/study.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace locpriv;
+  const std::size_t user = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+
+  // Section III half: measure what intervals background apps actually use.
+  market::CatalogConfig catalog_config;
+  const market::MarketReport market =
+      market::run_market_study(market::generate_catalog(catalog_config), 7);
+  auto intervals = market.background_intervals;
+  std::sort(intervals.begin(), intervals.end());
+
+  // Section IV half: a mobility corpus and the analyzer.
+  mobility::DatasetConfig dataset;
+  dataset.user_count = 24;
+  dataset.synthesis.days = 8;
+  const core::PrivacyAnalyzer analyzer =
+      core::PrivacyAnalyzer::from_synthetic(core::experiment_analyzer_config(), dataset);
+  if (user >= analyzer.user_count()) {
+    std::cerr << "user index out of range (have " << analyzer.user_count()
+              << " users)\n";
+    return 1;
+  }
+
+  const core::UserReference& reference = analyzer.reference(user);
+  std::cout << "Auditing user " << reference.user_id << ": "
+            << reference.pois.size() << " true PoIs, "
+            << reference.movements.key_count() << " movement patterns\n"
+            << "against the " << intervals.size()
+            << " background apps measured in the market study.\n\n";
+
+  // Representative apps: fastest, quartiles, slowest.
+  util::ConsoleTable table({"app percentile", "interval", "PoIs seen", "sensitive",
+                            "His_bin", "identified", "Deg_anonymity"});
+  const std::pair<const char*, double> picks[] = {
+      {"fastest", 0.0}, {"p25", 0.25}, {"median", 0.5}, {"p75", 0.75},
+      {"p90", 0.90}, {"slowest", 1.0}};
+  for (const auto& [label, quantile] : picks) {
+    const std::size_t index = std::min(
+        intervals.size() - 1,
+        static_cast<std::size_t>(quantile * static_cast<double>(intervals.size())));
+    const std::int64_t interval = intervals[index];
+    const core::ExposureReport report = analyzer.evaluate_exposure(user, interval);
+    const auto identification =
+        analyzer.earliest_identification(user, privacy::Pattern::kMovements, interval);
+    table.add_row({label, std::to_string(interval) + "s",
+                   util::format_percent(report.poi_total.fraction(), 0),
+                   util::format_percent(report.poi_sensitive.fraction(), 0),
+                   report.breach_detected() ? "ALERT" : "ok",
+                   identification.detected
+                       ? "after " + util::format_percent(identification.fraction, 0)
+                       : "no",
+                   util::format_fixed(report.anonymity_movements, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nInterpretation: His_bin fires when the collected histogram fits\n"
+               "this user's profile (either pattern - the paper's combined\n"
+               "detector); 'identified' is when the adversary's chi-square match\n"
+               "set collapses to this user alone; Deg_anonymity 0 = fully\n"
+               "identified, 1 = hidden among all profiles.\n";
+  return 0;
+}

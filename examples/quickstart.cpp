@@ -1,0 +1,61 @@
+// Quickstart: generate a small synthetic mobility corpus, build the
+// PrivacyAnalyzer, and ask what a background app polling at various
+// intervals learns about one user.
+//
+//   $ ./examples/quickstart [user_count] [days]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace locpriv;
+
+  mobility::DatasetConfig dataset;
+  dataset.user_count = argc > 1 ? std::atoi(argv[1]) : 12;
+  dataset.synthesis.days = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  std::cout << "Generating " << dataset.user_count << " users x "
+            << dataset.synthesis.days << " days (seed " << dataset.seed << ")...\n";
+  const core::AnalyzerConfig config = core::experiment_analyzer_config();
+  const core::PrivacyAnalyzer analyzer =
+      core::PrivacyAnalyzer::from_synthetic(config, dataset);
+
+  // Show the reference profile of user 0.
+  const core::UserReference& reference = analyzer.reference(0);
+  std::cout << "\nUser " << reference.user_id << ": " << reference.points.size()
+            << " GPS fixes, " << reference.pois.size() << " reference PoIs, "
+            << reference.movements.key_count() << " distinct movement patterns\n";
+
+  // Sweep the access interval of a hypothetical background app.
+  util::ConsoleTable table({"interval (s)", "fixes", "PoIs", "PoI_total", "PoI_sens",
+                            "His_bin p1", "His_bin p2", "anonymity p2"});
+  for (const std::int64_t interval : {1LL, 10LL, 60LL, 600LL, 3600LL, 7200LL}) {
+    const core::ExposureReport report = analyzer.evaluate_exposure(0, interval);
+    table.add_row({std::to_string(interval), std::to_string(report.collected_fixes),
+                   std::to_string(report.extracted_pois),
+                   util::format_percent(report.poi_total.fraction()),
+                   util::format_percent(report.poi_sensitive.fraction()),
+                   report.hisbin_visits ? "yes" : "no",
+                   report.hisbin_movements ? "yes" : "no",
+                   util::format_fixed(report.anonymity_movements, 3)});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // Earliest-detection comparison for the two patterns (Figure 4's per-user
+  // question) on a 1 s app.
+  const auto p1 = analyzer.earliest_detection(0, privacy::Pattern::kVisits, 1);
+  const auto p2 = analyzer.earliest_detection(0, privacy::Pattern::kMovements, 1);
+  std::cout << "\nEarliest His_bin detection for user 0 at 1 s polling:\n"
+            << "  pattern 1 (visits):    "
+            << (p1.detected ? util::format_percent(p1.fraction) + " of the trace"
+                            : "never") << '\n'
+            << "  pattern 2 (movements): "
+            << (p2.detected ? util::format_percent(p2.fraction) + " of the trace"
+                            : "never") << '\n';
+  return 0;
+}

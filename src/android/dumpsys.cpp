@@ -1,0 +1,89 @@
+#include "android/dumpsys.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace locpriv::android {
+
+std::string dumpsys_location_report(const LocationManager& manager,
+                                    std::int64_t now_s) {
+  std::ostringstream os;
+  os << "Location Manager state (t=" << now_s << "s):\n";
+  const auto& requests = manager.active_requests();
+  if (!requests.empty()) {
+    os << "  Active Requests:\n";
+    for (const auto& request : requests) {
+      os << "    Request[" << provider_name(request.provider)
+         << "] pkg=" << request.package << " interval=" << request.interval_s
+         << "s granularity=" << granularity_name(request.granularity) << '\n';
+    }
+  }
+  if (manager.has_last_known()) {
+    const Location& fix = manager.last_known();
+    os << "  Last Known Location: provider=" << provider_name(fix.provider)
+       << " acc=" << util::format_fixed(fix.accuracy_m, 1) << "m\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void malformed(std::string_view line, const std::string& detail) {
+  throw std::runtime_error("malformed dumpsys request line (" + detail +
+                           "): " + std::string(line));
+}
+
+// Extracts the value following "key=" up to the next space.
+std::string_view field_value(std::string_view line, std::string_view key) {
+  const std::size_t pos = line.find(key);
+  if (pos == std::string_view::npos) return {};
+  const std::size_t begin = pos + key.size();
+  const std::size_t end = line.find(' ', begin);
+  return line.substr(begin, end == std::string_view::npos ? line.size() - begin
+                                                          : end - begin);
+}
+
+}  // namespace
+
+std::vector<DumpsysRequest> parse_dumpsys_location(std::string_view report) {
+  std::vector<DumpsysRequest> requests;
+  std::size_t pos = 0;
+  while (pos < report.size()) {
+    std::size_t end = report.find('\n', pos);
+    if (end == std::string_view::npos) end = report.size();
+    const std::string_view line = util::trim(report.substr(pos, end - pos));
+    pos = end + 1;
+    if (!util::starts_with(line, "Request[")) continue;
+
+    DumpsysRequest request;
+    const std::size_t bracket = line.find(']');
+    if (bracket == std::string_view::npos) malformed(line, "missing ']'");
+    const std::string_view provider_text = line.substr(8, bracket - 8);
+    if (!parse_provider(provider_text, request.provider))
+      malformed(line, "unknown provider");
+
+    const std::string_view pkg = field_value(line, "pkg=");
+    if (pkg.empty()) malformed(line, "missing pkg");
+    request.package = std::string(pkg);
+
+    std::string_view interval_text = field_value(line, "interval=");
+    if (!util::ends_with(interval_text, "s")) malformed(line, "missing interval");
+    interval_text.remove_suffix(1);
+    long long interval = 0;
+    if (!util::parse_int64(interval_text, interval) || interval < 0)
+      malformed(line, "bad interval");
+    request.interval_s = interval;
+
+    const std::string_view granularity_text = field_value(line, "granularity=");
+    if (granularity_text == "fine") request.granularity = Granularity::kFine;
+    else if (granularity_text == "coarse") request.granularity = Granularity::kCoarse;
+    else malformed(line, "bad granularity");
+
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace locpriv::android

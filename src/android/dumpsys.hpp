@@ -1,0 +1,41 @@
+// dumpsys-style diagnostics. The paper inspects `dumpsys location` to learn
+// "which app is accessing the location, what location provider is registered
+// and how frequently the app requests location"; our report carries exactly
+// that, and the parser is what the market's dynamic measurement stage
+// consumes — so the pipeline exercises a genuine emit/parse round trip
+// rather than peeking at simulator internals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "android/location_manager.hpp"
+
+namespace locpriv::android {
+
+/// Renders the location-service section of a dumpsys report.
+///
+/// Format (stable, covered by tests):
+///   Location Manager state (t=<now>s):
+///     Active Requests:
+///       Request[<provider>] pkg=<package> interval=<s>s granularity=<g>
+///     Last Known Location: provider=<p> acc=<m>m
+/// The "Active Requests:" section is omitted when empty.
+std::string dumpsys_location_report(const LocationManager& manager, std::int64_t now_s);
+
+/// One request line parsed back out of a report.
+struct DumpsysRequest {
+  std::string package;
+  LocationProvider provider = LocationProvider::kGps;
+  std::int64_t interval_s = 0;
+  Granularity granularity = Granularity::kFine;
+};
+
+/// Parses the request lines of a dumpsys report. Throws std::runtime_error
+/// on malformed request lines; unknown lines are ignored (forward
+/// compatibility, like real dumpsys consumers).
+std::vector<DumpsysRequest> parse_dumpsys_location(std::string_view report);
+
+}  // namespace locpriv::android

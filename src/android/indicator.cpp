@@ -1,0 +1,47 @@
+#include "android/indicator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace locpriv::android {
+
+std::vector<IndicatorSpan> indicator_spans(const std::vector<Delivery>& log,
+                                           std::int64_t linger_s) {
+  LOCPRIV_EXPECT(linger_s >= 1);
+  std::vector<IndicatorSpan> spans;
+  std::set<std::string> current_packages;
+  for (const auto& delivery : log) {
+    const std::int64_t t = delivery.location.time_s;
+    if (!spans.empty() && t <= spans.back().end_s) {
+      // Extends the current span.
+      spans.back().end_s = std::max(spans.back().end_s, t + linger_s);
+      current_packages.insert(delivery.package);
+      spans.back().packages.assign(current_packages.begin(), current_packages.end());
+      continue;
+    }
+    IndicatorSpan span;
+    span.begin_s = t;
+    span.end_s = t + linger_s;
+    span.packages = {delivery.package};
+    spans.push_back(std::move(span));
+    current_packages = {delivery.package};
+  }
+  return spans;
+}
+
+IndicatorAttribution attribute_indicator(const std::vector<IndicatorSpan>& spans) {
+  IndicatorAttribution attribution;
+  for (const auto& span : spans) {
+    attribution.lit_s += span.duration_s();
+    if (span.packages.size() == 1) {
+      attribution.sole_s[span.packages.front()] += span.duration_s();
+    } else {
+      attribution.ambiguous_s += span.duration_s();
+    }
+  }
+  return attribution;
+}
+
+}  // namespace locpriv::android

@@ -1,0 +1,52 @@
+// The status-bar location indicator and what the user can perceive from it.
+//
+// Section III's motivation: "users could be aware of the action by
+// observing the notification on the system bar... it is very difficult to
+// recognize the action when it happens in background. Even worse, users
+// may mistake that the location access from a background app is from the
+// foreground app." This module reconstructs the indicator's on-spans from
+// the framework delivery log and attributes each span to the apps behind
+// it, quantifying exactly that misattribution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "android/location_manager.hpp"
+
+namespace locpriv::android {
+
+/// One contiguous span during which the status-bar indicator was lit.
+struct IndicatorSpan {
+  std::int64_t begin_s = 0;
+  std::int64_t end_s = 0;  ///< Inclusive of the linger after the last fix.
+  std::vector<std::string> packages;  ///< Apps that received fixes in the span.
+
+  std::int64_t duration_s() const { return end_s - begin_s; }
+};
+
+/// Per-app attribution summary.
+struct IndicatorAttribution {
+  /// Total seconds the indicator was lit.
+  std::int64_t lit_s = 0;
+  /// Seconds of indicator time attributable solely to each package (the
+  /// package was the only one receiving fixes in the span).
+  std::map<std::string, std::int64_t> sole_s;
+  /// Seconds during which 2+ apps shared the indicator — the user cannot
+  /// tell who is listening.
+  std::int64_t ambiguous_s = 0;
+};
+
+/// Reconstructs the indicator spans from a delivery log. The indicator
+/// lingers `linger_s` seconds after each delivery (Android keeps the icon
+/// visible briefly); deliveries closer than the linger merge into one
+/// span. Precondition: linger_s >= 1.
+std::vector<IndicatorSpan> indicator_spans(const std::vector<Delivery>& log,
+                                           std::int64_t linger_s = 10);
+
+/// Aggregates spans into the attribution summary.
+IndicatorAttribution attribute_indicator(const std::vector<IndicatorSpan>& spans);
+
+}  // namespace locpriv::android

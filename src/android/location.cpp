@@ -1,0 +1,71 @@
+#include "android/location.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace locpriv::android {
+
+std::string_view provider_name(LocationProvider provider) {
+  switch (provider) {
+    case LocationProvider::kGps: return "gps";
+    case LocationProvider::kNetwork: return "network";
+    case LocationProvider::kPassive: return "passive";
+    case LocationProvider::kFused: return "fused";
+  }
+  return "?";
+}
+
+bool parse_provider(std::string_view name, LocationProvider& out) {
+  for (const LocationProvider p :
+       {LocationProvider::kGps, LocationProvider::kNetwork, LocationProvider::kPassive,
+        LocationProvider::kFused}) {
+    if (name == provider_name(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view granularity_name(Granularity granularity) {
+  return granularity == Granularity::kFine ? "fine" : "coarse";
+}
+
+double provider_accuracy_m(LocationProvider provider, Granularity requested) {
+  switch (provider) {
+    case LocationProvider::kGps: return 8.0;
+    case LocationProvider::kNetwork: return 800.0;
+    case LocationProvider::kPassive: return 800.0;  // Whatever others got; worst case.
+    case LocationProvider::kFused:
+      return requested == Granularity::kFine ? 10.0 : 800.0;
+  }
+  return 800.0;
+}
+
+bool provider_yields_fine(LocationProvider provider, Granularity requested) {
+  switch (provider) {
+    case LocationProvider::kGps: return true;
+    case LocationProvider::kFused: return requested == Granularity::kFine;
+    case LocationProvider::kNetwork:
+    case LocationProvider::kPassive: return false;
+  }
+  return false;
+}
+
+std::string provider_combo_label(const std::vector<LocationProvider>& providers) {
+  LOCPRIV_EXPECT(!providers.empty());
+  std::string label;
+  // Fused first, then gps/network/passive — matching Table I's column
+  // labels ("fused network").
+  for (const LocationProvider p :
+       {LocationProvider::kFused, LocationProvider::kGps, LocationProvider::kNetwork,
+        LocationProvider::kPassive}) {
+    if (std::find(providers.begin(), providers.end(), p) == providers.end()) continue;
+    if (!label.empty()) label += ' ';
+    label += provider_name(p);
+  }
+  return label;
+}
+
+}  // namespace locpriv::android

@@ -1,0 +1,134 @@
+#include "android/location_manager.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace locpriv::android {
+
+LocationManager::LocationManager(stats::Rng noise) : noise_(noise) {}
+
+void LocationManager::check_permission(LocationProvider provider,
+                                       Granularity granularity,
+                                       const PermissionSet& held) const {
+  switch (provider) {
+    case LocationProvider::kGps:
+      if (!held.fine_location())
+        throw SecurityException("gps provider requires ACCESS_FINE_LOCATION");
+      return;
+    case LocationProvider::kNetwork:
+    case LocationProvider::kPassive:
+      if (!held.any_location())
+        throw SecurityException(std::string(provider_name(provider)) +
+                                " provider requires a location permission");
+      return;
+    case LocationProvider::kFused:
+      if (granularity == Granularity::kFine && !held.fine_location())
+        throw SecurityException("fused fine requests require ACCESS_FINE_LOCATION");
+      if (!held.any_location())
+        throw SecurityException("fused provider requires a location permission");
+      return;
+  }
+}
+
+void LocationManager::request_updates(const std::string& package,
+                                      LocationProvider provider,
+                                      std::int64_t interval_s, Granularity granularity,
+                                      const PermissionSet& held, std::int64_t now_s) {
+  LOCPRIV_EXPECT(interval_s >= 1);
+  LOCPRIV_EXPECT(!package.empty());
+  check_permission(provider, granularity, held);
+  remove_updates(package, provider);
+  LocationRequest request;
+  request.package = package;
+  request.provider = provider;
+  request.interval_s = interval_s;
+  request.granularity = granularity;
+  request.registered_at_s = now_s;
+  requests_.push_back(std::move(request));
+}
+
+void LocationManager::remove_updates(const std::string& package,
+                                     LocationProvider provider) {
+  std::erase_if(requests_, [&](const LocationRequest& r) {
+    return r.package == package && r.provider == provider;
+  });
+}
+
+void LocationManager::remove_all(const std::string& package) {
+  std::erase_if(requests_,
+                [&](const LocationRequest& r) { return r.package == package; });
+}
+
+std::vector<LocationRequest> LocationManager::requests_of(
+    const std::string& package) const {
+  std::vector<LocationRequest> out;
+  for (const auto& request : requests_)
+    if (request.package == package) out.push_back(request);
+  return out;
+}
+
+const Location& LocationManager::last_known() const {
+  LOCPRIV_EXPECT(has_last_known_);
+  return last_known_;
+}
+
+Location LocationManager::make_fix(LocationProvider provider, Granularity granularity,
+                                   const geo::LatLon& position, std::int64_t now_s) {
+  Location fix;
+  fix.provider = provider;
+  fix.time_s = now_s;
+  const double accuracy = provider_accuracy_m(provider, granularity);
+  // Jitter the reported accuracy ±25 % so the log looks like real fixes.
+  fix.accuracy_m = accuracy * noise_.uniform(0.75, 1.25);
+  fix.position = position;
+  return fix;
+}
+
+std::size_t LocationManager::tick(std::int64_t now_s, const geo::LatLon& position) {
+  std::size_t delivered = 0;
+  bool active_fix_this_tick = false;
+  Location active_fix;
+
+  // Active providers first: gps, network, fused deliveries come due on their
+  // own schedule.
+  for (auto& request : requests_) {
+    if (request.provider == LocationProvider::kPassive) continue;
+    const bool due = request.last_delivery_s < 0
+                         ? now_s >= request.registered_at_s
+                         : now_s - request.last_delivery_s >= request.interval_s;
+    if (!due) continue;
+    Location fix = make_fix(request.provider, request.granularity, position, now_s);
+    // The request is consumed (its clock advances) whether or not the
+    // policy suppresses the release — an app cannot bypass the policy by
+    // re-requesting faster.
+    request.last_delivery_s = now_s;
+    if (release_hook_ && !release_hook_(request.package, fix)) continue;
+    delivery_log_.push_back({request.package, fix});
+    last_known_ = fix;
+    has_last_known_ = true;
+    active_fix = fix;
+    active_fix_this_tick = true;
+    ++delivered;
+  }
+
+  // Passive provider piggybacks: when any active fix was produced this
+  // tick, passive listeners whose own minimum interval has elapsed get it.
+  if (active_fix_this_tick) {
+    for (auto& request : requests_) {
+      if (request.provider != LocationProvider::kPassive) continue;
+      const bool due = request.last_delivery_s < 0 ||
+                       now_s - request.last_delivery_s >= request.interval_s;
+      if (!due) continue;
+      Location fix = active_fix;
+      fix.provider = LocationProvider::kPassive;
+      request.last_delivery_s = now_s;
+      if (release_hook_ && !release_hook_(request.package, fix)) continue;
+      delivery_log_.push_back({request.package, fix});
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+}  // namespace locpriv::android

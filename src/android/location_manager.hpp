@@ -1,0 +1,102 @@
+// The simulated LocationManagerService: apps register location-update
+// requests against providers; the device clock drives periodic deliveries;
+// the passive provider piggybacks on everyone else's fixes. Permission
+// checks mirror Android 4.4: gps requires ACCESS_FINE_LOCATION, network and
+// passive accept either location permission, fused requires a permission
+// matching the requested granularity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "android/location.hpp"
+#include "android/permissions.hpp"
+#include "stats/rng.hpp"
+
+namespace locpriv::android {
+
+/// One active registration (what a dumpsys "Location Request" line shows).
+struct LocationRequest {
+  std::string package;
+  LocationProvider provider = LocationProvider::kGps;
+  std::int64_t interval_s = 0;       ///< Requested minimum update interval.
+  Granularity granularity = Granularity::kFine;
+  std::int64_t registered_at_s = 0;
+  std::int64_t last_delivery_s = -1;  ///< -1 until the first delivery.
+};
+
+/// One delivered fix, as recorded by the framework's delivery log.
+struct Delivery {
+  std::string package;
+  Location location;
+};
+
+/// The location framework.
+class LocationManager {
+ public:
+  /// Release hook: invoked for every fix about to be delivered; may mutate
+  /// the fix (coarsen, substitute) or return false to suppress delivery
+  /// entirely. This is the integration point for on-device LPPMs like
+  /// LP-Guardian (see lppm::GuardianPolicy): the framework stays policy-
+  /// agnostic, the policy sees every release.
+  using ReleaseHook = std::function<bool(const std::string& package, Location& fix)>;
+
+  /// `noise` drives per-fix accuracy jitter.
+  explicit LocationManager(stats::Rng noise);
+
+  /// Installs (or clears, with nullptr) the release hook.
+  void set_release_hook(ReleaseHook hook) { release_hook_ = std::move(hook); }
+
+  /// Registers `package` for updates from `provider` every `interval_s`
+  /// seconds. Throws SecurityException if `held` lacks the permission the
+  /// provider requires. Re-registering the same (package, provider)
+  /// replaces the previous request. interval_s >= 1.
+  void request_updates(const std::string& package, LocationProvider provider,
+                       std::int64_t interval_s, Granularity granularity,
+                       const PermissionSet& held, std::int64_t now_s);
+
+  /// Removes the (package, provider) registration if present.
+  void remove_updates(const std::string& package, LocationProvider provider);
+
+  /// Removes every registration of `package` (app closed / killed).
+  void remove_all(const std::string& package);
+
+  /// Active registrations, in registration order.
+  const std::vector<LocationRequest>& active_requests() const { return requests_; }
+
+  /// Registrations of one package.
+  std::vector<LocationRequest> requests_of(const std::string& package) const;
+
+  /// Advances to `now_s`, delivering fixes that have come due. `position`
+  /// is the device's true position at delivery time. Appends to the
+  /// delivery log and returns the number of fixes delivered.
+  std::size_t tick(std::int64_t now_s, const geo::LatLon& position);
+
+  /// The cached most recent fix per Android's getLastKnownLocation — set by
+  /// any delivery; empty optional semantics via `has_last_known`.
+  bool has_last_known() const { return has_last_known_; }
+  const Location& last_known() const;
+
+  /// Full delivery log (tests and the dynamic tester read this).
+  const std::vector<Delivery>& delivery_log() const { return delivery_log_; }
+
+  /// Drops the delivery log (between test phases).
+  void clear_delivery_log() { delivery_log_.clear(); }
+
+ private:
+  void check_permission(LocationProvider provider, Granularity granularity,
+                        const PermissionSet& held) const;
+  Location make_fix(LocationProvider provider, Granularity granularity,
+                    const geo::LatLon& position, std::int64_t now_s);
+
+  std::vector<LocationRequest> requests_;
+  ReleaseHook release_hook_;
+  std::vector<Delivery> delivery_log_;
+  Location last_known_{};
+  bool has_last_known_ = false;
+  stats::Rng noise_;
+};
+
+}  // namespace locpriv::android

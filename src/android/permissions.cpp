@@ -1,0 +1,66 @@
+#include "android/permissions.hpp"
+
+#include <algorithm>
+
+namespace locpriv::android {
+
+std::string_view permission_name(Permission permission) {
+  switch (permission) {
+    case Permission::kAccessFineLocation:
+      return "android.permission.ACCESS_FINE_LOCATION";
+    case Permission::kAccessCoarseLocation:
+      return "android.permission.ACCESS_COARSE_LOCATION";
+  }
+  return "?";
+}
+
+bool parse_permission(std::string_view name, Permission& out) {
+  if (name == permission_name(Permission::kAccessFineLocation)) {
+    out = Permission::kAccessFineLocation;
+    return true;
+  }
+  if (name == permission_name(Permission::kAccessCoarseLocation)) {
+    out = Permission::kAccessCoarseLocation;
+    return true;
+  }
+  return false;
+}
+
+PermissionSet::PermissionSet(std::vector<Permission> permissions)
+    : permissions_(std::move(permissions)) {}
+
+void PermissionSet::grant(Permission permission) {
+  if (!holds(permission)) permissions_.push_back(permission);
+}
+
+bool PermissionSet::holds(Permission permission) const {
+  return std::find(permissions_.begin(), permissions_.end(), permission) !=
+         permissions_.end();
+}
+
+bool PermissionSet::any_location() const {
+  return holds(Permission::kAccessFineLocation) ||
+         holds(Permission::kAccessCoarseLocation);
+}
+
+bool AndroidManifest::declares_location() const {
+  for (const Permission p : uses_permissions)
+    if (p == Permission::kAccessFineLocation || p == Permission::kAccessCoarseLocation)
+      return true;
+  return false;
+}
+
+std::string AndroidManifest::declared_granularity() const {
+  bool fine = false;
+  bool coarse = false;
+  for (const Permission p : uses_permissions) {
+    if (p == Permission::kAccessFineLocation) fine = true;
+    if (p == Permission::kAccessCoarseLocation) coarse = true;
+  }
+  if (fine && coarse) return "Fine & Coarse";
+  if (fine) return "Fine";
+  if (coarse) return "Coarse";
+  return "None";
+}
+
+}  // namespace locpriv::android

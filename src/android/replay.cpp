@@ -1,0 +1,44 @@
+#include "android/replay.hpp"
+
+#include "util/expect.hpp"
+
+namespace locpriv::android {
+
+std::size_t replay_trace(DeviceSimulator& device,
+                         const std::vector<trace::TracePoint>& points,
+                         bool sync_clock) {
+  if (points.empty()) return 0;
+  if (sync_clock) {
+    // Sync to one second before the first fix so the fix itself is
+    // delivered by a tick (ticks fire at now+1).
+    device.jump_to(points.front().timestamp_s - 1);
+  }
+  LOCPRIV_EXPECT(device.now_s() < points.front().timestamp_s);
+
+  std::size_t ticks = 0;
+  for (const auto& point : points) {
+    LOCPRIV_EXPECT(point.timestamp_s >= device.now_s());
+    const std::int64_t dt = point.timestamp_s - device.now_s();
+    // Hold the previous position until just before this fix's time (the
+    // user is still wherever they were during a recording gap), then move
+    // and tick once so deliveries at the fix's timestamp see the new
+    // position.
+    if (dt > 1) device.advance(dt - 1);
+    device.set_position(point.position);
+    if (dt > 0) device.advance(1);
+    ticks += static_cast<std::size_t>(dt);
+  }
+  return ticks;
+}
+
+std::vector<trace::TracePoint> collected_fixes(const LocationManager& manager,
+                                               const std::string& package) {
+  std::vector<trace::TracePoint> fixes;
+  for (const auto& delivery : manager.delivery_log()) {
+    if (delivery.package != package) continue;
+    fixes.push_back({delivery.location.position, delivery.location.time_s});
+  }
+  return fixes;
+}
+
+}  // namespace locpriv::android

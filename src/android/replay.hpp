@@ -1,0 +1,38 @@
+// Trace replay: carries the simulated handset along a recorded GPS trace so
+// that whatever apps are installed sample the *moving* device through the
+// real framework path (registration -> scheduled delivery -> listener),
+// instead of the analytical decimate() shortcut. Used by the end-to-end
+// attack example and by the test asserting the two models agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "android/device.hpp"
+#include "trace/trajectory.hpp"
+
+namespace locpriv::android {
+
+/// Replays `points` on `device`: for every fix the device moves there and
+/// the framework ticks through the gap to the next fix (the device holds
+/// its last position across recording gaps — the phone does not stop
+/// existing when the logger pauses). Deliveries accumulate in
+/// device.location_manager().delivery_log().
+///
+/// Returns the number of framework ticks executed.
+///
+/// With sync_clock = true the clock is first synced to just before the
+/// first fix; since a time sync requires a quiet framework, launch the spy
+/// apps *after* syncing (or sync manually with jump_to and pass
+/// sync_clock = false — also the way to replay a second leg).
+/// Preconditions: points time-ordered and entirely in the device's future.
+std::size_t replay_trace(DeviceSimulator& device,
+                         const std::vector<trace::TracePoint>& points,
+                         bool sync_clock = true);
+
+/// Convenience: the fixes delivered to `package` during a replay, as trace
+/// points (position + delivery time) ready for the privacy pipeline.
+std::vector<trace::TracePoint> collected_fixes(const LocationManager& manager,
+                                               const std::string& package);
+
+}  // namespace locpriv::android

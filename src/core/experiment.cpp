@@ -1,0 +1,63 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+
+#include "util/logging.hpp"
+
+namespace locpriv::core {
+
+std::vector<std::int64_t> access_interval_ladder() {
+  return {1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200};
+}
+
+ExperimentScale experiment_scale() {
+  const char* flag = std::getenv("LOCPRIV_REDUCED_SCALE");
+  if (flag != nullptr && std::strcmp(flag, "1") == 0) return {60, 8};
+  return {182, 12};
+}
+
+mobility::DatasetConfig experiment_dataset_config() {
+  mobility::DatasetConfig config;
+  config.seed = kDatasetSeed;
+  const ExperimentScale scale = experiment_scale();
+  config.user_count = scale.user_count;
+  config.synthesis.days = scale.days;
+  return config;
+}
+
+AnalyzerConfig experiment_analyzer_config() {
+  AnalyzerConfig config;
+  config.extraction = poi::table3_parameter_sets()[0];  // 50 m / 10 min.
+  config.region_cell_m = 250.0;
+  config.match.alpha = 0.05;
+  return config;
+}
+
+namespace {
+std::once_flag g_dataset_once;
+std::optional<mobility::SyntheticDataset> g_dataset;
+std::once_flag g_analyzer_once;
+std::optional<PrivacyAnalyzer> g_analyzer;
+}  // namespace
+
+const mobility::SyntheticDataset& shared_dataset() {
+  std::call_once(g_dataset_once, [] {
+    LOCPRIV_LOG(kInfo, "experiment") << "generating shared dataset";
+    g_dataset = mobility::generate_dataset(experiment_dataset_config());
+  });
+  return *g_dataset;
+}
+
+const PrivacyAnalyzer& shared_analyzer() {
+  std::call_once(g_analyzer_once, [] {
+    const mobility::SyntheticDataset& dataset = shared_dataset();
+    auto users = dataset.users;  // Copy: the analyzer consumes the traces.
+    g_analyzer.emplace(experiment_analyzer_config(), std::move(users));
+  });
+  return *g_analyzer;
+}
+
+}  // namespace locpriv::core

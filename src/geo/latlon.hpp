@@ -1,0 +1,57 @@
+// Geographic coordinate types. LatLon is a strongly typed value (I.4) so
+// latitude/longitude can never be swapped silently at call sites that take
+// two doubles.
+#pragma once
+
+namespace locpriv::geo {
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// WGS84-style geographic coordinate in decimal degrees.
+struct LatLon {
+  double lat_deg = 0.0;  ///< Latitude in [-90, 90].
+  double lon_deg = 0.0;  ///< Longitude in [-180, 180].
+
+  friend bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// Planar offset in meters within a local tangent plane (East, North).
+struct EastNorth {
+  double east_m = 0.0;
+  double north_m = 0.0;
+
+  friend bool operator==(const EastNorth&, const EastNorth&) = default;
+};
+
+/// Axis-aligned geographic bounding box.
+struct GeoBounds {
+  double min_lat = 90.0;
+  double max_lat = -90.0;
+  double min_lon = 180.0;
+  double max_lon = -180.0;
+
+  /// Expands the box to contain `p`.
+  void extend(const LatLon& p) {
+    if (p.lat_deg < min_lat) min_lat = p.lat_deg;
+    if (p.lat_deg > max_lat) max_lat = p.lat_deg;
+    if (p.lon_deg < min_lon) min_lon = p.lon_deg;
+    if (p.lon_deg > max_lon) max_lon = p.lon_deg;
+  }
+
+  /// True if no point has been added yet.
+  bool empty() const { return min_lat > max_lat; }
+
+  /// True if `p` lies inside (inclusive). Precondition: !empty().
+  bool contains(const LatLon& p) const {
+    return p.lat_deg >= min_lat && p.lat_deg <= max_lat && p.lon_deg >= min_lon &&
+           p.lon_deg <= max_lon;
+  }
+
+  /// Geometric center. Precondition: !empty().
+  LatLon center() const {
+    return {(min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0};
+  }
+};
+
+}  // namespace locpriv::geo

@@ -1,0 +1,36 @@
+#include "geo/projection.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/geodesy.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::geo {
+
+LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
+  // One degree of latitude is ~111.2 km everywhere; one degree of longitude
+  // shrinks with cos(latitude).
+  meters_per_deg_lat_ = kEarthRadiusMeters * std::numbers::pi / 180.0;
+  meters_per_deg_lon_ = meters_per_deg_lat_ * std::cos(deg_to_rad(origin.lat_deg));
+}
+
+EastNorth LocalProjection::to_plane(const LatLon& p) const {
+  return {(p.lon_deg - origin_.lon_deg) * meters_per_deg_lon_,
+          (p.lat_deg - origin_.lat_deg) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::to_geo(const EastNorth& p) const {
+  return {origin_.lat_deg + p.north_m / meters_per_deg_lat_,
+          origin_.lon_deg + p.east_m / meters_per_deg_lon_};
+}
+
+LatLon snap_to_grid(const LatLon& p, double cell_m, const LocalProjection& projection) {
+  LOCPRIV_EXPECT(cell_m > 0.0);
+  const EastNorth plane = projection.to_plane(p);
+  const double east = (std::floor(plane.east_m / cell_m) + 0.5) * cell_m;
+  const double north = (std::floor(plane.north_m / cell_m) + 0.5) * cell_m;
+  return projection.to_geo({east, north});
+}
+
+}  // namespace locpriv::geo

@@ -1,0 +1,135 @@
+// Location Privacy Protection Mechanisms (LPPMs).
+//
+// The paper's related work surveys the defense space — location truncation
+// (Micinski et al.), coarse release for background apps (LP-Guardian),
+// spatial cloaking (Gruteser & Grunwald), perturbation, and release
+// throttling. This module implements them behind one interface so the
+// evaluation harness (core/defense_eval) can score any of them on the
+// same privacy-vs-utility axes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/projection.hpp"
+#include "stats/rng.hpp"
+#include "trace/trajectory.hpp"
+
+namespace locpriv::lppm {
+
+/// A defense transforms the fix stream an app would otherwise receive into
+/// the stream actually released to it. Implementations must be
+/// deterministic given the Rng. Stateless across calls (each call is one
+/// app's full observation window).
+class Defense {
+ public:
+  virtual ~Defense() = default;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+
+  /// Produces the released stream. May drop, delay-quantise, or perturb
+  /// fixes, but never reorders time.
+  virtual std::vector<trace::TracePoint> release(
+      const std::vector<trace::TracePoint>& requested, stats::Rng& rng) const = 0;
+};
+
+/// No-op baseline: releases exactly what was requested.
+class IdentityDefense final : public Defense {
+ public:
+  std::string name() const override { return "none"; }
+  std::vector<trace::TracePoint> release(const std::vector<trace::TracePoint>& requested,
+                                         stats::Rng& rng) const override;
+};
+
+/// Truncation / grid coarsening: every fix snaps to the centre of a square
+/// cell (Micinski et al.'s location truncation; LP-Guardian's coarse
+/// release). Precondition: cell_m > 0.
+class GridSnapDefense final : public Defense {
+ public:
+  GridSnapDefense(double cell_m, const geo::LatLon& anchor);
+  std::string name() const override;
+  std::vector<trace::TracePoint> release(const std::vector<trace::TracePoint>& requested,
+                                         stats::Rng& rng) const override;
+
+ private:
+  double cell_m_;
+  geo::LocalProjection projection_;
+};
+
+/// Gaussian perturbation: adds zero-mean noise of `sigma_m` per fix.
+/// Precondition: sigma_m > 0.
+class GaussianPerturbationDefense final : public Defense {
+ public:
+  explicit GaussianPerturbationDefense(double sigma_m);
+  std::string name() const override;
+  std::vector<trace::TracePoint> release(const std::vector<trace::TracePoint>& requested,
+                                         stats::Rng& rng) const override;
+
+ private:
+  double sigma_m_;
+};
+
+/// Adaptive spatial cloaking (Gruteser & Grunwald): each fix is enlarged to
+/// the smallest cell from a doubling ladder (base_cell_m, 2x, 4x, ...) that
+/// contains at least k of the supplied anchor positions (e.g. the homes of
+/// the user population) — a k-anonymity-style region — and the cell centre
+/// is released. Preconditions: base_cell_m > 0, k >= 1, anchors non-empty.
+class SpatialCloakingDefense final : public Defense {
+ public:
+  SpatialCloakingDefense(double base_cell_m, std::size_t k,
+                         std::vector<geo::LatLon> anchors, const geo::LatLon& origin);
+  std::string name() const override;
+  std::vector<trace::TracePoint> release(const std::vector<trace::TracePoint>& requested,
+                                         stats::Rng& rng) const override;
+
+  /// The cell size chosen for a position (exposed for tests).
+  double cell_for(const geo::LatLon& position) const;
+
+ private:
+  double base_cell_m_;
+  std::size_t k_;
+  std::vector<geo::EastNorth> anchors_;
+  geo::LocalProjection projection_;
+  static constexpr int kMaxDoublings = 8;
+};
+
+/// Release throttling: at most one fix per `min_interval_s`, regardless of
+/// how often the app asks (LP-Guardian-style rate limiting).
+/// Precondition: min_interval_s > 0.
+class ThrottleDefense final : public Defense {
+ public:
+  explicit ThrottleDefense(std::int64_t min_interval_s);
+  std::string name() const override;
+  std::vector<trace::TracePoint> release(const std::vector<trace::TracePoint>& requested,
+                                         stats::Rng& rng) const override;
+
+ private:
+  std::int64_t min_interval_s_;
+};
+
+/// Sensitive-place suppression: fixes within `radius_m` of any protected
+/// place are dropped ("users can block the access to sensitive locations",
+/// paper §IV.B). Preconditions: radius_m > 0.
+class PlaceSuppressionDefense final : public Defense {
+ public:
+  PlaceSuppressionDefense(std::vector<geo::LatLon> protected_places, double radius_m);
+  std::string name() const override;
+  std::vector<trace::TracePoint> release(const std::vector<trace::TracePoint>& requested,
+                                         stats::Rng& rng) const override;
+
+ private:
+  std::vector<geo::LatLon> places_;
+  double radius_m_;
+};
+
+/// The standard comparison suite used by bench_defenses: identity, snapping
+/// at 100/250/1000 m, perturbation at 100 m, cloaking k=5 over `homes`,
+/// throttling at 600 s, and suppression of every home location (modelling a
+/// population that blocks access at home, the paper's "users can block the
+/// access to sensitive locations").
+std::vector<std::unique_ptr<Defense>> standard_suite(const geo::LatLon& anchor,
+                                                     std::vector<geo::LatLon> homes);
+
+}  // namespace locpriv::lppm

@@ -1,0 +1,98 @@
+#include "market/analysis.hpp"
+
+#include <algorithm>
+
+#include "android/dumpsys.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::market {
+
+using android::DumpsysRequest;
+using android::LocationProvider;
+
+StaticFinding analyze_manifest(const AppSpec& app) {
+  StaticFinding finding;
+  finding.package = app.manifest.package_name;
+  finding.declares_location = app.manifest.declares_location();
+  finding.granularity_claim = app.manifest.declared_granularity();
+  finding.has_service = app.manifest.declares_service;
+  return finding;
+}
+
+DynamicTester::DynamicTester(std::uint64_t device_seed,
+                             std::int64_t background_limits_s)
+    : device_(device_seed, geo::LatLon{39.9042, 116.4074}) {
+  if (background_limits_s > 0)
+    device_.enable_background_location_limits(background_limits_s);
+}
+
+namespace {
+
+// Requests belonging to `package` in a parsed dumpsys report.
+std::vector<DumpsysRequest> requests_of(const std::vector<DumpsysRequest>& all,
+                                        const std::string& package) {
+  std::vector<DumpsysRequest> mine;
+  for (const auto& request : all)
+    if (request.package == package) mine.push_back(request);
+  return mine;
+}
+
+std::vector<DumpsysRequest> snapshot(android::DeviceSimulator& device,
+                                     const std::string& package) {
+  const std::string report =
+      android::dumpsys_location_report(device.location_manager(), device.now_s());
+  return requests_of(android::parse_dumpsys_location(report), package);
+}
+
+}  // namespace
+
+DynamicObservation DynamicTester::test(const AppSpec& app) {
+  DynamicObservation observation;
+  observation.package = app.package;
+
+  device_.install(app.manifest, app.behavior);
+  device_.location_manager().clear_delivery_log();
+
+  // Launch and let it settle for a couple of seconds.
+  device_.launch(app.package);
+  device_.advance(2);
+  auto requests = snapshot(device_, app.package);
+  observation.auto_start = !requests.empty();
+
+  // If nothing registered yet, operate the app like a normal user would.
+  if (requests.empty()) {
+    device_.trigger_location_use(app.package);
+    device_.advance(2);
+    requests = snapshot(device_, app.package);
+  }
+  observation.functions = !requests.empty();
+
+  // Home button; verify via dumpsys whether requests survive in background.
+  device_.move_to_background(app.package);
+  device_.advance(3);
+  const auto background_requests = snapshot(device_, app.package);
+  observation.background_access = !background_requests.empty();
+  if (observation.background_access) {
+    observation.background_interval_s = background_requests.front().interval_s;
+    for (const auto& request : background_requests) {
+      observation.background_providers.push_back(request.provider);
+      observation.background_interval_s =
+          std::min(observation.background_interval_s, request.interval_s);
+      if (android::provider_yields_fine(request.provider, request.granularity))
+        observation.uses_precise = true;
+    }
+    // Observe long enough to witness at least one more delivery for fast
+    // requesters (pure evidence gathering; the interval itself comes from
+    // dumpsys, as in the paper).
+    device_.advance(std::min<std::int64_t>(observation.background_interval_s, 30));
+  }
+
+  for (const auto& delivery : device_.location_manager().delivery_log())
+    if (delivery.package == app.package) ++observation.deliveries;
+
+  device_.close(app.package);
+  device_.uninstall(app.package);
+  return observation;
+}
+
+}  // namespace locpriv::market

@@ -1,0 +1,70 @@
+// The two measurement stages of the paper's Section III pipeline.
+//
+// Static stage ("We extract the manifest file from the apk file by using
+// the Apktool"): reads only the manifest — never the behaviour — and
+// reports the declared permissions.
+//
+// Dynamic stage ("we manually install and operate them one by one on a real
+// mobile device... launch the app, try to trigger location access, move the
+// app to background, and finally close it", observed via dumpsys): drives
+// the app through the same script on the DeviceSimulator and derives every
+// observation from parsed dumpsys reports and the framework delivery log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "market/app_spec.hpp"
+
+namespace locpriv::market {
+
+/// What static manifest analysis yields for one apk.
+struct StaticFinding {
+  std::string package;
+  bool declares_location = false;
+  std::string granularity_claim;  ///< "Fine", "Coarse", "Fine & Coarse", "None".
+  bool has_service = false;
+};
+
+/// Runs the Apktool-equivalent manifest extraction.
+StaticFinding analyze_manifest(const AppSpec& app);
+
+/// What one dynamic test session yields.
+struct DynamicObservation {
+  std::string package;
+  bool functions = false;        ///< Registered a location request when operated.
+  bool auto_start = false;       ///< Registered right after launch, untriggered.
+  bool background_access = false;///< Still registered after moving to background.
+  /// Providers seen registered while backgrounded (empty unless
+  /// background_access).
+  std::vector<android::LocationProvider> background_providers;
+  /// Smallest requested interval among the background registrations.
+  std::int64_t background_interval_s = 0;
+  /// Whether any background registration can yield precise fixes.
+  bool uses_precise = false;
+  /// Fixes delivered to the app during the whole session (evidence that the
+  /// registrations are live).
+  std::size_t deliveries = 0;
+};
+
+/// Drives apps through the launch / trigger / background / close script on a
+/// simulated device and reports what dumpsys shows at each step.
+class DynamicTester {
+ public:
+  /// `background_limits_s` > 0 enables the Android 8-style background
+  /// throttling policy on the test device (see
+  /// DeviceSimulator::enable_background_location_limits); 0 reproduces the
+  /// paper's Android 4.4 testbed.
+  explicit DynamicTester(std::uint64_t device_seed,
+                         std::int64_t background_limits_s = 0);
+
+  /// Tests one app; the device is left clean (app uninstalled) afterwards.
+  DynamicObservation test(const AppSpec& app);
+
+ private:
+  android::DeviceSimulator device_;
+};
+
+}  // namespace locpriv::market

@@ -1,0 +1,27 @@
+// One app in the synthetic market: its manifest (what static analysis sees)
+// plus its true runtime behaviour (what dynamic testing uncovers). The
+// measurement pipeline never reads `behavior` directly — it installs the app
+// on the device simulator and observes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "android/permissions.hpp"
+
+namespace locpriv::market {
+
+/// A catalog entry.
+struct AppSpec {
+  std::string package;           ///< "com.<category>.appNNN".
+  int category = 0;              ///< Index into the category table.
+  int rank = 0;                  ///< Popularity rank within the category (0 = top).
+  android::AndroidManifest manifest;
+  android::AppBehavior behavior;
+};
+
+/// The whole downloaded corpus (2,800 apps).
+using Catalog = std::vector<AppSpec>;
+
+}  // namespace locpriv::market

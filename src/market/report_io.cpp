@@ -1,0 +1,58 @@
+#include "market/report_io.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "android/location.hpp"
+#include "util/csv.hpp"
+
+namespace locpriv::market {
+
+void write_observations_csv(std::ostream& out, const MarketReport& report) {
+  util::CsvWriter writer(out);
+  writer.write_row({"package", "granularity_claim", "functions", "auto_start",
+                    "background", "providers", "background_interval_s",
+                    "uses_precise", "deliveries"});
+  // Static findings are indexed over the whole catalog; dynamic
+  // observations only over declaring apps. Join on package.
+  std::map<std::string, const StaticFinding*> by_package;
+  for (const auto& finding : report.static_findings)
+    by_package[finding.package] = &finding;
+  for (const auto& observation : report.dynamic_observations) {
+    const auto it = by_package.find(observation.package);
+    const std::string claim =
+        it == by_package.end() ? "?" : it->second->granularity_claim;
+    writer.write_row(
+        {observation.package, claim, observation.functions ? "1" : "0",
+         observation.auto_start ? "1" : "0", observation.background_access ? "1" : "0",
+         observation.background_providers.empty()
+             ? ""
+             : android::provider_combo_label(observation.background_providers),
+         std::to_string(observation.background_interval_s),
+         observation.uses_precise ? "1" : "0", std::to_string(observation.deliveries)});
+  }
+}
+
+void write_summary_csv(std::ostream& out, const MarketReport& report) {
+  util::CsvWriter writer(out);
+  writer.write_row({"statistic", "paper", "measured"});
+  const auto row = [&](const std::string& name, const std::string& paper,
+                       long long measured) {
+    writer.write_row({name, paper, std::to_string(measured)});
+  };
+  row("total_apps", "2800", report.total_apps);
+  row("declaring", "1137", report.declaring);
+  row("fine_only", "193", report.fine_only);
+  row("coarse_only", "182", report.coarse_only);
+  row("both", "762", report.both);
+  row("functional", "528", report.functional);
+  row("functional_auto", "393", report.functional_auto);
+  row("background", "102", report.background);
+  row("background_auto", "85", report.background_auto);
+  row("background_claim_fine", "96", report.background_claim_fine);
+  row("background_claim_coarse", "6", report.background_claim_coarse);
+  row("background_precise", "68", report.background_precise);
+  row("background_coarse_despite_fine", "28", report.background_coarse_despite_fine);
+}
+
+}  // namespace locpriv::market

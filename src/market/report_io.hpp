@@ -1,0 +1,18 @@
+// CSV export of market-study results, for spreadsheet/plotting consumers of
+// the CLI (`locpriv market-study --csv ...`).
+#pragma once
+
+#include <iosfwd>
+
+#include "market/study.hpp"
+
+namespace locpriv::market {
+
+/// One row per dynamically tested app: package, declared granularity,
+/// functions, auto_start, background, providers, interval_s, deliveries.
+void write_observations_csv(std::ostream& out, const MarketReport& report);
+
+/// One row per headline statistic: name, paper value, measured value.
+void write_summary_csv(std::ostream& out, const MarketReport& report);
+
+}  // namespace locpriv::market

@@ -1,0 +1,88 @@
+#include "market/study.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/logging.hpp"
+
+namespace locpriv::market {
+
+namespace {
+
+// Maps an observed provider set to its Table I column, or -1 if the set
+// matches no canonical combination.
+int combo_index_of(std::vector<android::LocationProvider> providers) {
+  std::sort(providers.begin(), providers.end());
+  providers.erase(std::unique(providers.begin(), providers.end()), providers.end());
+  for (int combo = 0; combo < kProviderComboCount; ++combo) {
+    auto canonical = provider_combo(combo);
+    std::sort(canonical.begin(), canonical.end());
+    if (canonical == providers) return combo;
+  }
+  return -1;
+}
+
+int claim_row_of(const std::string& claim) {
+  if (claim == "Fine") return 0;
+  if (claim == "Coarse") return 1;
+  if (claim == "Fine & Coarse") return 2;
+  return -1;
+}
+
+}  // namespace
+
+MarketReport run_market_study(const Catalog& catalog, std::uint64_t device_seed,
+                              std::int64_t background_limits_s) {
+  MarketReport report;
+  report.total_apps = static_cast<int>(catalog.size());
+
+  // Stage 1: static manifest analysis over every apk.
+  for (const AppSpec& app : catalog) {
+    StaticFinding finding = analyze_manifest(app);
+    if (finding.declares_location) {
+      ++report.declaring;
+      if (finding.granularity_claim == "Fine") ++report.fine_only;
+      else if (finding.granularity_claim == "Coarse") ++report.coarse_only;
+      else ++report.both;
+    }
+    report.static_findings.push_back(std::move(finding));
+  }
+
+  // Stage 2: dynamic testing of every location-declaring app.
+  DynamicTester tester(device_seed, background_limits_s);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const StaticFinding& finding = report.static_findings[i];
+    if (!finding.declares_location) continue;
+    DynamicObservation observation = tester.test(catalog[i]);
+    if (observation.functions) {
+      ++report.functional;
+      if (observation.auto_start) ++report.functional_auto;
+    }
+    if (observation.background_access) {
+      ++report.background;
+      if (observation.auto_start) ++report.background_auto;
+      if (finding.granularity_claim == "Coarse") ++report.background_claim_coarse;
+      else ++report.background_claim_fine;
+      if (observation.uses_precise) ++report.background_precise;
+      else if (finding.granularity_claim != "Coarse")
+        ++report.background_coarse_despite_fine;
+
+      const int row = claim_row_of(finding.granularity_claim);
+      const int combo = combo_index_of(observation.background_providers);
+      LOCPRIV_ENSURE(row >= 0);
+      if (combo >= 0)
+        ++report.provider_matrix[static_cast<std::size_t>(row)]
+                                [static_cast<std::size_t>(combo)];
+      report.background_intervals.push_back(observation.background_interval_s);
+    }
+    report.dynamic_observations.push_back(std::move(observation));
+  }
+
+  LOCPRIV_LOG(kInfo, "market") << "study complete: " << report.declaring
+                               << " declaring, " << report.functional
+                               << " functional, " << report.background
+                               << " background";
+  return report;
+}
+
+}  // namespace locpriv::market

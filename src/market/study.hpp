@@ -1,0 +1,55 @@
+// The full market study: static stage over all 2,800 apps, dynamic stage
+// over the location-declaring ones, aggregated into the numbers the paper's
+// Section III reports (headline statistics, Table I, Figure 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "market/analysis.hpp"
+#include "market/catalog.hpp"
+
+namespace locpriv::market {
+
+/// Aggregated results of the measurement campaign.
+struct MarketReport {
+  // Static stage.
+  int total_apps = 0;
+  int declaring = 0;
+  int fine_only = 0;
+  int coarse_only = 0;
+  int both = 0;
+
+  // Dynamic stage.
+  int functional = 0;        ///< Access location when operated (paper: 528).
+  int functional_auto = 0;   ///< ... right after launch (paper: 393).
+  int background = 0;        ///< Access location in background (paper: 102).
+  int background_auto = 0;   ///< Background + auto start (paper: 85).
+
+  int background_claim_fine = 0;    ///< Paper: 96 claim fine (18 fine-only + 78 both).
+  int background_claim_coarse = 0;  ///< Paper: 6.
+  int background_precise = 0;       ///< Use precise location (paper: 68).
+  int background_coarse_despite_fine = 0;  ///< Claim fine, use coarse (paper: 28).
+
+  /// Table I: [granularity row][provider combo] counts over background apps.
+  std::array<std::array<int, kProviderComboCount>, kGranularityClaimCount>
+      provider_matrix{};
+
+  /// Background request intervals (seconds), one per background app —
+  /// Figure 1's sample.
+  std::vector<std::int64_t> background_intervals;
+
+  /// Per-app observations (kept for downstream analyses / tests).
+  std::vector<StaticFinding> static_findings;
+  std::vector<DynamicObservation> dynamic_observations;
+};
+
+/// Runs the two-stage measurement over `catalog` on a simulated device.
+/// `background_limits_s` > 0 runs the dynamic stage on a device enforcing
+/// Android 8-style background throttling at that interval (0 = the paper's
+/// Android 4.4 behaviour).
+MarketReport run_market_study(const Catalog& catalog, std::uint64_t device_seed,
+                              std::int64_t background_limits_s = 0);
+
+}  // namespace locpriv::market

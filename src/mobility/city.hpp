@@ -1,0 +1,60 @@
+// Synthetic city: a Manhattan road grid with a pool of PoI sites scattered
+// near intersections. Trips between PoIs are routed along the grid, giving
+// traces the rectilinear look of real urban GPS data.
+#pragma once
+
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "geo/projection.hpp"
+#include "mobility/poi_site.hpp"
+#include "stats/rng.hpp"
+
+namespace locpriv::mobility {
+
+/// City generation parameters. Defaults produce a ~12x12 km downtown
+/// anchored at Beijing (matching Geolife's dominant region).
+struct CityConfig {
+  geo::LatLon anchor{39.9042, 116.4074};  ///< Grid origin (south-west corner).
+  int blocks_x = 24;          ///< Grid blocks east-west.
+  int blocks_y = 24;          ///< Grid blocks north-south.
+  double block_m = 500.0;     ///< Block edge length in meters.
+  int poi_count = 400;        ///< Size of the shared PoI pool.
+  double poi_jitter_m = 60.0; ///< How far PoIs sit from their intersection.
+};
+
+/// The generated city. Immutable after construction; shared by all users so
+/// their PoI sets overlap (which is what makes the identification experiments
+/// non-trivial — distinct users visit intersecting place sets).
+class CityModel {
+ public:
+  /// Generates the road grid and PoI pool deterministically from `rng`.
+  CityModel(const CityConfig& config, stats::Rng& rng);
+
+  const CityConfig& config() const { return config_; }
+  const std::vector<PoiSite>& pois() const { return pois_; }
+  const geo::LocalProjection& projection() const { return projection_; }
+
+  /// The site with the given id. Precondition: 0 <= id < poi_count.
+  const PoiSite& poi(int id) const;
+
+  /// Ids of all sites with the given category.
+  std::vector<int> pois_of_category(PoiCategory category) const;
+
+  /// Plans a route between two positions along the road grid: walk to the
+  /// nearest intersection, staircase path through the grid (randomised
+  /// east/north interleaving), walk to the destination. Returns a polyline
+  /// including both endpoints; at least two points unless from == to.
+  std::vector<geo::LatLon> plan_route(const geo::LatLon& from, const geo::LatLon& to,
+                                      stats::Rng& rng) const;
+
+  /// Nearest grid intersection to `p` (clamped to the grid extent).
+  geo::LatLon nearest_intersection(const geo::LatLon& p) const;
+
+ private:
+  CityConfig config_;
+  geo::LocalProjection projection_;
+  std::vector<PoiSite> pois_;
+};
+
+}  // namespace locpriv::mobility

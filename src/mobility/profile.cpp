@@ -1,0 +1,133 @@
+#include "mobility/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace locpriv::mobility {
+
+DwellModel dwell_model(PoiCategory category) {
+  // Lognormal parameters chosen so the 10-minute PoI-extraction threshold
+  // passes for most stays while 20/30-minute thresholds prune progressively
+  // more (reproducing the monotone drop in the paper's Figure 2).
+  switch (category) {
+    case PoiCategory::kHome: return {std::log(4.0 * 3600.0), 0.5};
+    case PoiCategory::kWork: return {std::log(3.5 * 3600.0), 0.4};
+    case PoiCategory::kRestaurant: return {std::log(45.0 * 60.0), 0.5};
+    case PoiCategory::kShop: return {std::log(25.0 * 60.0), 0.6};
+    case PoiCategory::kGym: return {std::log(60.0 * 60.0), 0.4};
+    case PoiCategory::kPark: return {std::log(35.0 * 60.0), 0.7};
+    case PoiCategory::kSchool: return {std::log(50.0 * 60.0), 0.4};
+    case PoiCategory::kHospital: return {std::log(55.0 * 60.0), 0.5};
+    case PoiCategory::kEntertainment: return {std::log(90.0 * 60.0), 0.5};
+    case PoiCategory::kTransit: return {std::log(12.0 * 60.0), 0.5};
+  }
+  return {std::log(30.0 * 60.0), 0.5};
+}
+
+namespace {
+
+// How attractive each category is as a weekday transition target.
+double weekday_affinity(PoiCategory category) {
+  switch (category) {
+    case PoiCategory::kHome: return 1.6;
+    case PoiCategory::kWork: return 2.2;
+    case PoiCategory::kRestaurant: return 1.0;
+    case PoiCategory::kShop: return 0.7;
+    case PoiCategory::kGym: return 0.6;
+    case PoiCategory::kPark: return 0.4;
+    case PoiCategory::kSchool: return 0.5;
+    case PoiCategory::kHospital: return 0.2;
+    case PoiCategory::kEntertainment: return 0.4;
+    case PoiCategory::kTransit: return 0.5;
+  }
+  return 0.5;
+}
+
+double weekend_affinity(PoiCategory category) {
+  switch (category) {
+    case PoiCategory::kHome: return 1.8;
+    case PoiCategory::kWork: return 0.2;
+    case PoiCategory::kRestaurant: return 1.2;
+    case PoiCategory::kShop: return 1.4;
+    case PoiCategory::kGym: return 0.8;
+    case PoiCategory::kPark: return 1.2;
+    case PoiCategory::kSchool: return 0.1;
+    case PoiCategory::kHospital: return 0.2;
+    case PoiCategory::kEntertainment: return 1.5;
+    case PoiCategory::kTransit: return 0.6;
+  }
+  return 0.5;
+}
+
+// Draws one row of a transition matrix: category affinity modulated by a
+// per-user random habit factor, zero self-transition, normalised to 1.
+std::vector<double> draw_transition_row(const CityModel& city,
+                                        const std::vector<int>& poi_ids,
+                                        std::size_t from_index, bool weekend,
+                                        double concentration, stats::Rng& rng) {
+  std::vector<double> row(poi_ids.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < poi_ids.size(); ++j) {
+    if (j == from_index) continue;  // A "transition" always changes place.
+    const PoiCategory category = city.poi(poi_ids[j]).category;
+    const double affinity = weekend ? weekend_affinity(category) : weekday_affinity(category);
+    // Gamma-like habit factor: exp of a scaled normal gives a heavy-ish tail,
+    // so each user ends up with a few strongly preferred edges — the
+    // idiosyncrasy the chi-square identification exploits.
+    const double habit = std::exp(rng.normal(0.0, 1.0) * std::log1p(concentration) / 3.0);
+    row[j] = affinity * habit;
+    total += row[j];
+  }
+  LOCPRIV_EXPECT(total > 0.0);
+  for (double& value : row) value /= total;
+  return row;
+}
+
+}  // namespace
+
+UserProfile build_user_profile(const CityModel& city, const std::string& user_id,
+                               int home_poi, const ProfileConfig& config,
+                               stats::Rng& rng) {
+  LOCPRIV_EXPECT(config.min_amenities >= 1);
+  LOCPRIV_EXPECT(config.max_amenities >= config.min_amenities);
+  LOCPRIV_EXPECT(city.poi(home_poi).category == PoiCategory::kHome);
+
+  UserProfile profile;
+  profile.user_id = user_id;
+  profile.poi_ids.push_back(home_poi);
+
+  // Workplace: any kWork site; shared across users by construction.
+  const auto work_sites = city.pois_of_category(PoiCategory::kWork);
+  LOCPRIV_EXPECT(!work_sites.empty());
+  profile.poi_ids.push_back(
+      work_sites[static_cast<std::size_t>(rng.next_below(work_sites.size()))]);
+
+  // Amenities: distinct non-home sites from the shared pool.
+  const int amenity_count =
+      static_cast<int>(rng.uniform_int(config.min_amenities, config.max_amenities));
+  int guard = 1000;
+  while (static_cast<int>(profile.poi_ids.size()) < 2 + amenity_count && guard-- > 0) {
+    const int candidate =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(city.pois().size())));
+    if (city.poi(candidate).category == PoiCategory::kHome) continue;
+    if (std::find(profile.poi_ids.begin(), profile.poi_ids.end(), candidate) !=
+        profile.poi_ids.end())
+      continue;
+    profile.poi_ids.push_back(candidate);
+  }
+  LOCPRIV_EXPECT(profile.poi_ids.size() >= 3);
+
+  for (std::size_t i = 0; i < profile.poi_ids.size(); ++i) {
+    profile.weekday_transition.push_back(draw_transition_row(
+        city, profile.poi_ids, i, /*weekend=*/false, config.habit_concentration, rng));
+    profile.weekend_transition.push_back(draw_transition_row(
+        city, profile.poi_ids, i, /*weekend=*/true, config.habit_concentration, rng));
+    const DwellModel dwell = dwell_model(city.poi(profile.poi_ids[i]).category);
+    profile.mean_dwell_s.push_back(std::exp(dwell.mu_log_s + rng.normal(0.0, 0.15)));
+  }
+  return profile;
+}
+
+}  // namespace locpriv::mobility

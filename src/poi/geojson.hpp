@@ -1,0 +1,22 @@
+// GeoJSON export, for inspecting traces and extracted PoIs in any map
+// viewer. Emits a FeatureCollection: trajectories as LineStrings, PoIs as
+// Points with visit metadata.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poi/clustering.hpp"
+#include "trace/trajectory.hpp"
+
+namespace locpriv::poi {
+
+/// One trajectory as a GeoJSON LineString feature.
+std::string trajectory_to_geojson_feature(const trace::Trajectory& trajectory);
+
+/// A full user trace as a FeatureCollection of LineStrings (one per
+/// trajectory), optionally with the user's PoIs as Point features carrying
+/// `visits` and `dwell_s` properties.
+std::string to_geojson(const trace::UserTrace& user, const std::vector<Poi>& pois = {});
+
+}  // namespace locpriv::poi

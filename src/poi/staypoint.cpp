@@ -1,0 +1,163 @@
+#include "poi/staypoint.hpp"
+
+#include <deque>
+
+#include "geo/geodesy.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::poi {
+
+std::vector<ExtractionParams> table3_parameter_sets() {
+  // Set ids 1..6: visiting time {10,20,30} min crossed with radius {50,100} m
+  // in the paper's column order.
+  return {
+      {50.0, 10 * 60, 4}, {50.0, 20 * 60, 4}, {50.0, 30 * 60, 4},
+      {100.0, 10 * 60, 4}, {100.0, 20 * 60, 4}, {100.0, 30 * 60, 4},
+  };
+}
+
+namespace {
+
+/// Running centroid over a set of fixes (supports add/remove for sliding
+/// windows; positions are far from poles/antimeridian so arithmetic means
+/// are valid, matching geo::centroid).
+class CentroidAccumulator {
+ public:
+  void add(const geo::LatLon& p) {
+    lat_sum_ += p.lat_deg;
+    lon_sum_ += p.lon_deg;
+    ++count_;
+  }
+  void remove(const geo::LatLon& p) {
+    lat_sum_ -= p.lat_deg;
+    lon_sum_ -= p.lon_deg;
+    --count_;
+  }
+  std::size_t count() const { return count_; }
+  geo::LatLon centroid() const {
+    LOCPRIV_EXPECT(count_ > 0);
+    const auto n = static_cast<double>(count_);
+    return {lat_sum_ / n, lon_sum_ / n};
+  }
+
+ private:
+  double lat_sum_ = 0.0;
+  double lon_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+geo::LatLon centroid_of(const std::deque<trace::TracePoint>& window, std::size_t begin,
+                        std::size_t end) {
+  CentroidAccumulator acc;
+  for (std::size_t i = begin; i < end; ++i) acc.add(window[i].position);
+  return acc.centroid();
+}
+
+}  // namespace
+
+std::vector<StayPoint> extract_stay_points(const std::vector<trace::TracePoint>& points,
+                                           const ExtractionParams& params) {
+  LOCPRIV_EXPECT(params.radius_m > 0.0);
+  LOCPRIV_EXPECT(params.min_visit_s > 0);
+  LOCPRIV_EXPECT(params.window_fixes >= 4 && params.window_fixes % 2 == 0);
+
+  const std::size_t window_size = params.window_fixes;
+  const std::size_t half = window_size / 2;
+
+  std::vector<StayPoint> stays;
+
+  // OUTSIDE state: candidate entry window. INSIDE state: stay accumulator
+  // plus sliding exit window.
+  std::deque<trace::TracePoint> window;  // Entry window (outside) or exit window (inside).
+  bool inside = false;
+  CentroidAccumulator stay_acc;
+  std::int64_t enter_s = 0;
+  std::int64_t last_attributed_s = 0;
+
+  const auto attribute_to_stay = [&](const trace::TracePoint& point) {
+    stay_acc.add(point.position);
+    last_attributed_s = point.timestamp_s;
+  };
+
+  const auto close_stay = [&](bool consume_overlap) {
+    // The leading half of the exit window overlaps the stay (paper: buf_PoI
+    // and buf_Exit share an overlapped area); attribute it before closing.
+    const std::size_t overlap = consume_overlap ? std::min(half, window.size())
+                                                : window.size();
+    for (std::size_t i = 0; i < overlap; ++i) {
+      attribute_to_stay(window.front());
+      window.pop_front();
+    }
+    const std::int64_t duration = last_attributed_s - enter_s;
+    if (duration >= params.min_visit_s && stay_acc.count() > 0)
+      stays.push_back(
+          {stay_acc.centroid(), enter_s, last_attributed_s, stay_acc.count()});
+    stay_acc = CentroidAccumulator();
+    inside = false;
+    // Remaining exit-window points (the user's departure) seed the next
+    // entry window so back-to-back stays are both detected.
+  };
+
+  for (const auto& point : points) {
+    window.push_back(point);
+    if (!inside) {
+      if (window.size() > window_size) window.pop_front();
+      if (window.size() < window_size) continue;
+      // buf_Entry = the full window; the nascent buf_PoI = its trailing
+      // half (the two buffers overlap by half of buf_Entry).
+      const geo::LatLon entry_centroid = centroid_of(window, 0, window.size());
+      const geo::LatLon poi_centroid = centroid_of(window, half, window.size());
+      if (geo::equirectangular_m(entry_centroid, poi_centroid) < params.radius_m) {
+        // Entered a stay: the trailing half becomes the stay's first fixes.
+        inside = true;
+        enter_s = window[half].timestamp_s;
+        for (std::size_t i = half; i < window.size(); ++i)
+          attribute_to_stay(window[i]);
+        window.clear();
+      }
+    } else {
+      // Points older than the exit window belong to the stay.
+      while (window.size() > window_size) {
+        attribute_to_stay(window.front());
+        window.pop_front();
+      }
+      if (window.size() < window_size) continue;
+      const geo::LatLon exit_centroid = centroid_of(window, 0, window.size());
+      if (geo::equirectangular_m(stay_acc.centroid(), exit_centroid) > params.radius_m)
+        close_stay(/*consume_overlap=*/true);
+    }
+  }
+
+  // End of stream: an open stay absorbs the whole residual window.
+  if (inside) close_stay(/*consume_overlap=*/false);
+  return stays;
+}
+
+std::vector<StayPoint> extract_stay_points_anchor(
+    const std::vector<trace::TracePoint>& points, const ExtractionParams& params) {
+  LOCPRIV_EXPECT(params.radius_m > 0.0);
+  LOCPRIV_EXPECT(params.min_visit_s > 0);
+
+  std::vector<StayPoint> stays;
+  std::size_t i = 0;
+  while (i < points.size()) {
+    std::size_t j = i + 1;
+    while (j < points.size() &&
+           geo::equirectangular_m(points[i].position, points[j].position) <=
+               params.radius_m)
+      ++j;
+    const std::int64_t span = points[j - 1].timestamp_s - points[i].timestamp_s;
+    if (span >= params.min_visit_s) {
+      CentroidAccumulator acc;
+      for (std::size_t k = i; k < j; ++k) acc.add(points[k].position);
+      stays.push_back({acc.centroid(), points[i].timestamp_s, points[j - 1].timestamp_s,
+                       j - i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+}  // namespace locpriv::poi

@@ -1,0 +1,135 @@
+#include "privacy/inference.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "geo/geodesy.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::privacy {
+
+namespace {
+
+constexpr std::int64_t kDay = 86400;
+
+// Overlap of [begin, end) with the window [win_lo, win_hi) within one day,
+// where the interval is given in seconds-of-day and may not wrap.
+double window_overlap(std::int64_t begin, std::int64_t end, std::int64_t win_lo,
+                      std::int64_t win_hi) {
+  const std::int64_t lo = std::max(begin, win_lo);
+  const std::int64_t hi = std::min(end, win_hi);
+  return hi > lo ? static_cast<double>(hi - lo) : 0.0;
+}
+
+bool is_weekday(std::int64_t unix_s) {
+  const std::int64_t day_index = unix_s / kDay;
+  const int weekday = static_cast<int>((day_index + 4) % 7);  // 0 = Sunday.
+  return weekday >= 1 && weekday <= 5;
+}
+
+}  // namespace
+
+DwellSplit split_dwell(std::int64_t enter_s, std::int64_t exit_s) {
+  LOCPRIV_EXPECT(exit_s >= enter_s);
+  DwellSplit split;
+  // Walk the interval day by day so multi-day stays are handled exactly.
+  std::int64_t cursor = enter_s;
+  while (cursor < exit_s) {
+    const std::int64_t day_start = (cursor / kDay) * kDay;
+    const std::int64_t day_end = day_start + kDay;
+    const std::int64_t chunk_end = std::min(exit_s, day_end);
+    const std::int64_t begin_sod = cursor - day_start;
+    const std::int64_t end_sod = chunk_end - day_start;
+    // Night: [00:00, 06:00) and [22:00, 24:00).
+    split.night_s += window_overlap(begin_sod, end_sod, 0, 6 * 3600);
+    split.night_s += window_overlap(begin_sod, end_sod, 22 * 3600, kDay);
+    // Working hours on weekdays: [09:00, 18:00).
+    if (is_weekday(cursor))
+      split.workday_s += window_overlap(begin_sod, end_sod, 9 * 3600, 18 * 3600);
+    cursor = chunk_end;
+  }
+  return split;
+}
+
+HomeWorkResult infer_home_work(const std::vector<poi::Poi>& pois,
+                               const RegionGrid& grid) {
+  HomeWorkResult result;
+  std::vector<DwellSplit> splits(pois.size());
+  for (std::size_t i = 0; i < pois.size(); ++i) {
+    for (const auto& visit : pois[i].visits) {
+      const DwellSplit split = split_dwell(visit.enter_s, visit.exit_s);
+      splits[i].night_s += split.night_s;
+      splits[i].workday_s += split.workday_s;
+    }
+    if (splits[i].night_s > result.home_night_s) {
+      result.home_night_s = splits[i].night_s;
+      result.home_index = static_cast<int>(i);
+    }
+  }
+  for (std::size_t i = 0; i < pois.size(); ++i) {
+    if (static_cast<int>(i) == result.home_index) continue;
+    if (splits[i].workday_s > result.work_workday_s) {
+      result.work_workday_s = splits[i].workday_s;
+      result.work_index = static_cast<int>(i);
+    }
+  }
+  if (result.home_index >= 0)
+    result.home_region =
+        grid.region_of(pois[static_cast<std::size_t>(result.home_index)].centroid);
+  if (result.work_index >= 0)
+    result.work_region =
+        grid.region_of(pois[static_cast<std::size_t>(result.work_index)].centroid);
+  return result;
+}
+
+std::size_t pair_anonymity_set(const std::vector<HomeWorkResult>& population,
+                               std::size_t user) {
+  LOCPRIV_EXPECT(user < population.size());
+  LOCPRIV_EXPECT(population[user].resolved());
+  const HomeWorkResult& target = population[user];
+  std::size_t count = 0;
+  for (const HomeWorkResult& other : population) {
+    if (!other.resolved()) continue;
+    if (other.home_region == target.home_region &&
+        other.work_region == target.work_region)
+      ++count;
+  }
+  return count;
+}
+
+TrackingStats time_to_confusion(const std::vector<trace::TracePoint>& points,
+                                std::int64_t max_gap_s, double max_speed_mps) {
+  LOCPRIV_EXPECT(max_gap_s > 0);
+  LOCPRIV_EXPECT(max_speed_mps > 0.0);
+  TrackingStats stats;
+  if (points.empty()) return stats;
+
+  std::vector<double> episodes;
+  std::int64_t episode_start = points.front().timestamp_s;
+  for (std::size_t i = 1; i <= points.size(); ++i) {
+    bool broken = i == points.size();
+    if (!broken) {
+      const std::int64_t gap = points[i].timestamp_s - points[i - 1].timestamp_s;
+      if (gap > max_gap_s) {
+        broken = true;
+      } else if (gap > 0) {
+        const double speed =
+            geo::haversine_m(points[i - 1].position, points[i].position) /
+            static_cast<double>(gap);
+        broken = speed > max_speed_mps;
+      }
+    }
+    if (broken) {
+      episodes.push_back(
+          static_cast<double>(points[i - 1].timestamp_s - episode_start));
+      if (i < points.size()) episode_start = points[i].timestamp_s;
+    }
+  }
+  stats.episode_count = episodes.size();
+  stats.mean_s = stats::mean(episodes);
+  stats.median_s = stats::quantile(episodes, 0.5);
+  stats.max_s = *std::max_element(episodes.begin(), episodes.end());
+  return stats;
+}
+
+}  // namespace locpriv::privacy

@@ -1,0 +1,72 @@
+// Higher-level inference attacks built on extracted PoIs — the attacks the
+// paper's related work warns about once a background app has the trace:
+//
+//  * home/work identification from visit times (day/night structure);
+//  * the Golle-Partridge home/work-pair anonymity set ("On the anonymity
+//    of home/work location pairs");
+//  * Hoh et al.'s time-to-confusion: for how long can an adversary track a
+//    user continuously before losing the fix chain?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poi/clustering.hpp"
+#include "privacy/region.hpp"
+#include "trace/trajectory.hpp"
+
+namespace locpriv::privacy {
+
+/// Seconds of a visit interval spent in the night window (22:00-06:00 UTC)
+/// and in the weekday working window (09:00-18:00 UTC, Monday-Friday).
+struct DwellSplit {
+  double night_s = 0.0;
+  double workday_s = 0.0;
+};
+
+/// Splits one visit interval by time-of-day/week. Exposed for testing.
+DwellSplit split_dwell(std::int64_t enter_s, std::int64_t exit_s);
+
+/// Result of home/work inference over one user's extracted PoIs.
+struct HomeWorkResult {
+  int home_index = -1;  ///< Index into the input PoI vector, -1 if unresolved.
+  int work_index = -1;
+  RegionId home_region = -1;
+  RegionId work_region = -1;
+  double home_night_s = 0.0;   ///< Overnight dwell supporting the home call.
+  double work_workday_s = 0.0; ///< Working-hours dwell supporting the work call.
+
+  bool resolved() const { return home_index >= 0 && work_index >= 0; }
+};
+
+/// Infers home (the PoI with the most overnight dwell) and work (the most
+/// weekday working-hours dwell among the remaining PoIs). Either index is
+/// -1 when no PoI has any dwell in the corresponding window.
+HomeWorkResult infer_home_work(const std::vector<poi::Poi>& pois,
+                               const RegionGrid& grid);
+
+/// Golle-Partridge: how many members of `population` share `user`'s
+/// (home region, work region) pair — the user's anonymity set including
+/// themselves. Unresolved members never match anyone. Precondition:
+/// user < population.size() and population[user].resolved().
+std::size_t pair_anonymity_set(const std::vector<HomeWorkResult>& population,
+                               std::size_t user);
+
+/// Hoh-style tracking statistics: a fix chain stays "trackable" while the
+/// gap to the next fix is at most `max_gap_s` and the implied speed at most
+/// `max_speed_mps`; each maximal trackable chain's duration is a tracking
+/// episode. Mean/median/max episode length measure how long the adversary
+/// follows the user before confusion.
+struct TrackingStats {
+  std::size_t episode_count = 0;
+  double mean_s = 0.0;
+  double median_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Computes tracking episodes over a time-ordered fix stream.
+/// Preconditions: max_gap_s > 0, max_speed_mps > 0.
+TrackingStats time_to_confusion(const std::vector<trace::TracePoint>& points,
+                                std::int64_t max_gap_s, double max_speed_mps);
+
+}  // namespace locpriv::privacy

@@ -1,0 +1,62 @@
+#include "privacy/matching.hpp"
+
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace locpriv::privacy {
+
+MatchResult match_histograms(const PatternHistogram& observed,
+                             const PatternHistogram& profile,
+                             const MatchParams& params) {
+  LOCPRIV_EXPECT(params.alpha > 0.0 && params.alpha < 1.0);
+  LOCPRIV_EXPECT(params.unseen_key_pseudo_count >= 0.0);
+
+  MatchResult result;
+  if (observed.total() < params.min_observed_total) return result;
+  if (profile.empty()) return result;
+
+  // Category space: union of profile keys and observed keys. Profile keys
+  // carry their profile counts as expected mass; observed-only keys carry a
+  // small pseudo-count so unexpected places/movements penalise the fit.
+  std::vector<double> observed_counts;
+  std::vector<double> expected_counts;
+  observed_counts.reserve(profile.counts().size() + observed.counts().size());
+  expected_counts.reserve(observed_counts.capacity());
+
+  for (const auto& [key, expected] : profile.counts()) {
+    observed_counts.push_back(observed.count(key));
+    expected_counts.push_back(expected);
+  }
+  if (params.unseen_key_pseudo_count > 0.0) {
+    for (const auto& [key, count] : observed.counts()) {
+      if (profile.count(key) > 0.0) continue;
+      observed_counts.push_back(count);
+      expected_counts.push_back(params.unseen_key_pseudo_count);
+    }
+  }
+  if (observed_counts.size() < 2) return result;
+
+  // With no pseudo-counts an observed histogram can be fully disjoint from
+  // the profile's key space; that is a definitive non-match, not a test.
+  double observed_overlap = 0.0;
+  for (const double count : observed_counts) observed_overlap += count;
+  if (observed_overlap <= 0.0) return result;
+
+  if (params.test == MatchTest::kKolmogorovSmirnov) {
+    result.ks = stats::ks_two_sample(observed_counts, expected_counts);
+    result.attempted = true;
+    result.matches = result.ks.p_value >= params.alpha;
+    return result;
+  }
+
+  result.chi = stats::pearson_goodness_of_fit(observed_counts, expected_counts);
+  result.attempted = true;
+  // His_bin = 1 when the fit cannot be rejected (upper tail) / when the
+  // paper-literal lower-tail p-value clears alpha. See header for why the
+  // upper tail is the default.
+  result.matches = result.chi.p_value(params.tail) >= params.alpha;
+  return result;
+}
+
+}  // namespace locpriv::privacy

@@ -1,0 +1,65 @@
+// Histogram matching: the His_bin metric.
+//
+// His_bin asks whether the histogram built from the locations an app
+// collected fits the user's profile histogram. The paper decides this with
+// Pearson's chi-square goodness-of-fit at p = 0.05.
+//
+// Note on the test's tail: the paper's prose says it tests the *lower* tail
+// and sets His_bin = 0 when that p-value is below the threshold. Read
+// literally, scarce collected data (whose rescaled statistic is far *above*
+// the degrees of freedom) would always yield His_bin = 1 immediately, which
+// contradicts the paper's own Figure 4 (detection requires ~10 %+ of the
+// profile). The operationally consistent reading — and our default — is the
+// classical upper-tail test: His_bin = 1 ("the histograms are similar, the
+// release is unsafe") iff the goodness-of-fit hypothesis cannot be rejected,
+// i.e. p_upper >= alpha. The literal lower-tail variant remains selectable
+// for the ablation bench (bench_ablation), which demonstrates its
+// degeneracy.
+#pragma once
+
+#include "privacy/pattern_histogram.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/ks_test.hpp"
+
+namespace locpriv::privacy {
+
+/// Which statistical test decides the match.
+enum class MatchTest {
+  kChiSquare,           ///< Pearson goodness-of-fit (the paper's choice).
+  kKolmogorovSmirnov,   ///< Two-sample KS over key-ordered CDFs (sparse-data
+                        ///< alternative, contrasted in bench_ablation).
+};
+
+/// Matching parameters.
+struct MatchParams {
+  double alpha = 0.05;  ///< The paper's p-value threshold.
+  MatchTest test = MatchTest::kChiSquare;
+  stats::ChiSquareTail tail = stats::ChiSquareTail::kUpper;  ///< See header note.
+  /// Pseudo-count assigned to keys the observed histogram contains but the
+  /// profile does not (Laplace-style smoothing). The default 0 follows the
+  /// paper's Formula 1, whose expected counts come from the profile's keys
+  /// only: observing *new* places neither helps nor hurts the fit, and an
+  /// observed histogram fully disjoint from the profile is a definitive
+  /// non-match. The ablation bench contrasts smoothing > 0, which turns
+  /// unexpected keys into evidence against a match.
+  double unseen_key_pseudo_count = 0.0;
+  /// Minimum observed mass before the test is attempted; with fewer
+  /// observations the chi-square approximation is meaningless and His_bin
+  /// is reported as 0 (no evidence of breach yet).
+  double min_observed_total = 5.0;
+};
+
+/// Outcome of matching one observed histogram against one profile.
+struct MatchResult {
+  bool attempted = false;   ///< False when below min_observed_total or keys < 2.
+  bool matches = false;     ///< His_bin: true = the release exposes the profile.
+  stats::ChiSquareResult chi;  ///< Valid when attempted with kChiSquare.
+  stats::KsResult ks;          ///< Valid when attempted with kKolmogorovSmirnov.
+};
+
+/// Runs the His_bin decision for `observed` against `profile`.
+MatchResult match_histograms(const PatternHistogram& observed,
+                             const PatternHistogram& profile,
+                             const MatchParams& params);
+
+}  // namespace locpriv::privacy

@@ -1,0 +1,48 @@
+// Adversary correctness (after Shokri et al., "Quantifying Location
+// Privacy", the paper's [30]): privacy is ultimately the adversary's
+// *error* when estimating where the user actually was. The adversary
+// reconstructs a position timeline from the collected fixes (piecewise:
+// the user is at the last observed fix until the next one) and we measure
+// the distance between that estimate and the ground-truth trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "trace/trajectory.hpp"
+
+namespace locpriv::privacy {
+
+/// Piecewise-constant position estimator over a collected fix stream.
+class PositionEstimator {
+ public:
+  /// Builds from collected fixes (time-ordered). Precondition: non-empty.
+  explicit PositionEstimator(std::vector<trace::TracePoint> collected);
+
+  /// The adversary's estimate at time `t`: the last fix at or before `t`
+  /// (the first fix for queries before any observation).
+  const geo::LatLon& estimate(std::int64_t t) const;
+
+  std::size_t fix_count() const { return collected_.size(); }
+
+ private:
+  std::vector<trace::TracePoint> collected_;
+};
+
+/// Summary of the reconstruction error over a ground-truth trace.
+struct ReconstructionError {
+  double mean_m = 0.0;
+  double median_m = 0.0;
+  double p90_m = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Evaluates the estimator against `truth`, sampling every
+/// `sample_every_s` seconds of the truth stream (1 = every fix).
+/// Preconditions: truth non-empty, sample_every_s >= 1.
+ReconstructionError reconstruction_error(const std::vector<trace::TracePoint>& truth,
+                                         const PositionEstimator& estimator,
+                                         std::int64_t sample_every_s = 60);
+
+}  // namespace locpriv::privacy

@@ -1,0 +1,57 @@
+#include "privacy/topn.hpp"
+
+#include <algorithm>
+
+#include "stats/entropy.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::privacy {
+
+std::vector<RegionId> top_regions(const PatternHistogram& visits, std::size_t n) {
+  LOCPRIV_EXPECT(n >= 1);
+  std::vector<std::pair<double, RegionId>> ranked;
+  ranked.reserve(visits.counts().size());
+  for (const auto& [region, count] : visits.counts()) ranked.emplace_back(count, region);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;  // Most visited first.
+    return a.second < b.second;                        // Deterministic ties.
+  });
+  std::vector<RegionId> top;
+  for (std::size_t i = 0; i < ranked.size() && i < n; ++i)
+    top.push_back(ranked[i].second);
+  std::sort(top.begin(), top.end());  // Set semantics.
+  return top;
+}
+
+TopNIdentifier::TopNIdentifier(const std::vector<UserProfileHistograms>& profiles,
+                               std::size_t n)
+    : n_(n) {
+  LOCPRIV_EXPECT(!profiles.empty());
+  LOCPRIV_EXPECT(n >= 1);
+  profile_tops_.reserve(profiles.size());
+  for (const auto& profile : profiles)
+    profile_tops_.push_back(top_regions(profile.visits, n));
+}
+
+std::vector<std::size_t> TopNIdentifier::matches(
+    const PatternHistogram& observed_visits) const {
+  const std::vector<RegionId> observed_top = top_regions(observed_visits, n_);
+  std::vector<std::size_t> matched;
+  if (observed_top.size() < n_) return matched;  // Quasi-identifier incomplete.
+  for (std::size_t i = 0; i < profile_tops_.size(); ++i)
+    if (profile_tops_[i] == observed_top) matched.push_back(i);
+  return matched;
+}
+
+double TopNIdentifier::degree_of_anonymity(
+    const PatternHistogram& observed_visits) const {
+  const auto matched = matches(observed_visits);
+  if (matched.empty()) return 1.0;
+  if (matched.size() == 1) return 0.0;
+  std::vector<double> posterior(profile_tops_.size(), 0.0);
+  for (const std::size_t i : matched)
+    posterior[i] = 1.0 / static_cast<double>(matched.size());
+  return stats::degree_of_anonymity(posterior, profile_tops_.size());
+}
+
+}  // namespace locpriv::privacy

@@ -1,0 +1,47 @@
+// Zang & Bolot's top-N location baseline ("Anonymization of location data
+// does not work", MobiCom'11, the paper's [35]): a user is characterised by
+// the set of their N most-visited regions. The paper builds on this result
+// — top 2-3 locations already yield tiny anonymity sets — so the baseline
+// belongs in the comparison next to pattern 1 and pattern 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "privacy/adversary.hpp"
+#include "privacy/pattern_histogram.hpp"
+
+namespace locpriv::privacy {
+
+/// The `n` most-visited regions of a visit histogram, ties broken by
+/// region id (deterministic). Fewer than `n` if the histogram has fewer
+/// keys. Precondition: n >= 1.
+std::vector<RegionId> top_regions(const PatternHistogram& visits, std::size_t n);
+
+/// Identification by top-N equality: the anonymity set is every profile
+/// whose top-N region *set* equals the observed one (order-insensitive,
+/// matching Zang & Bolot's treatment).
+class TopNIdentifier {
+ public:
+  /// Precomputes the top-N sets of all profiles. Preconditions: profiles
+  /// non-empty, n >= 1.
+  TopNIdentifier(const std::vector<UserProfileHistograms>& profiles, std::size_t n);
+
+  std::size_t profile_count() const { return profile_tops_.size(); }
+  std::size_t n() const { return n_; }
+
+  /// Indices of profiles whose top-N set equals `observed_visits`'s.
+  /// An observed histogram with fewer than N regions matches nothing (the
+  /// adversary cannot form the quasi-identifier yet).
+  std::vector<std::size_t> matches(const PatternHistogram& observed_visits) const;
+
+  /// Degree of anonymity of the match set (uniform posterior): 1 when
+  /// nothing matched, 0 when exactly one profile matched.
+  double degree_of_anonymity(const PatternHistogram& observed_visits) const;
+
+ private:
+  std::vector<std::vector<RegionId>> profile_tops_;  // Sorted sets.
+  std::size_t n_;
+};
+
+}  // namespace locpriv::privacy

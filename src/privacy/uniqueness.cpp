@@ -1,0 +1,69 @@
+#include "privacy/uniqueness.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace locpriv::privacy {
+
+std::set<StPoint> quantize_trace(const std::vector<trace::TracePoint>& points,
+                                 const RegionGrid& grid, int hour_bucket_h) {
+  LOCPRIV_EXPECT(hour_bucket_h >= 1);
+  std::set<StPoint> quantized;
+  const std::int64_t bucket_s = static_cast<std::int64_t>(hour_bucket_h) * 3600;
+  for (const auto& point : points)
+    quantized.emplace(grid.region_of(point.position), point.timestamp_s / bucket_s);
+  return quantized;
+}
+
+UnicityResult unicity(const std::vector<std::set<StPoint>>& corpus, int max_points,
+                      int trials_per_user, stats::Rng& rng) {
+  LOCPRIV_EXPECT(!corpus.empty());
+  LOCPRIV_EXPECT(max_points >= 1);
+  LOCPRIV_EXPECT(trials_per_user >= 1);
+
+  UnicityResult result;
+  result.trials_per_user = static_cast<std::size_t>(trials_per_user);
+  result.unique_fraction.assign(static_cast<std::size_t>(max_points), 0.0);
+  std::vector<std::size_t> trial_counts(static_cast<std::size_t>(max_points), 0);
+
+  for (const auto& user_points : corpus) {
+    if (static_cast<int>(user_points.size()) < max_points) continue;
+    const std::vector<StPoint> pool(user_points.begin(), user_points.end());
+    for (int p = 1; p <= max_points; ++p) {
+      for (int trial = 0; trial < trials_per_user; ++trial) {
+        // Draw p distinct points by partial shuffle of index positions.
+        std::vector<std::size_t> indices(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i) indices[i] = i;
+        for (int k = 0; k < p; ++k) {
+          const auto j = static_cast<std::size_t>(
+              rng.uniform_int(static_cast<std::int64_t>(k),
+                              static_cast<std::int64_t>(pool.size()) - 1));
+          std::swap(indices[static_cast<std::size_t>(k)], indices[j]);
+        }
+        // Count corpus members containing every drawn point.
+        std::size_t consistent = 0;
+        for (const auto& other : corpus) {
+          bool contains_all = true;
+          for (int k = 0; k < p; ++k) {
+            if (!other.contains(pool[indices[static_cast<std::size_t>(k)]])) {
+              contains_all = false;
+              break;
+            }
+          }
+          if (contains_all && ++consistent > 1) break;
+        }
+        ++trial_counts[static_cast<std::size_t>(p - 1)];
+        if (consistent == 1)
+          result.unique_fraction[static_cast<std::size_t>(p - 1)] += 1.0;
+      }
+    }
+  }
+  for (std::size_t p = 0; p < result.unique_fraction.size(); ++p) {
+    if (trial_counts[p] > 0)
+      result.unique_fraction[p] /= static_cast<double>(trial_counts[p]);
+  }
+  return result;
+}
+
+}  // namespace locpriv::privacy

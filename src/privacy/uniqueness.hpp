@@ -1,0 +1,42 @@
+// Unicity of mobility traces (after de Montjoye et al., "Unique in the
+// Crowd", the paper's [7]): how many random spatio-temporal points from a
+// user's trace suffice to single them out of the whole corpus? The famous
+// answer on real CDR data: four hourly-antenna points identify 95 % of
+// people, and coarsening helps surprisingly little.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "privacy/region.hpp"
+#include "stats/rng.hpp"
+#include "trace/trajectory.hpp"
+
+namespace locpriv::privacy {
+
+/// One spatio-temporal point: a region and an hour bucket (hours since the
+/// Unix epoch divided by `hour_bucket`).
+using StPoint = std::pair<RegionId, std::int64_t>;
+
+/// Quantises a fix stream into its set of spatio-temporal points.
+/// Precondition: hour_bucket_h >= 1.
+std::set<StPoint> quantize_trace(const std::vector<trace::TracePoint>& points,
+                                 const RegionGrid& grid, int hour_bucket_h);
+
+/// Unicity estimate across a corpus.
+struct UnicityResult {
+  /// unique_fraction[p-1] = fraction of sampled (user, p-point) draws whose
+  /// p spatio-temporal points match exactly one corpus member.
+  std::vector<double> unique_fraction;
+  std::size_t trials_per_user = 0;
+};
+
+/// For p = 1..max_points: draw `trials_per_user` random p-subsets of each
+/// user's point set and check how many corpus members contain them all.
+/// Users with fewer than max_points quantised points are skipped.
+/// Preconditions: corpus non-empty, max_points >= 1, trials_per_user >= 1.
+UnicityResult unicity(const std::vector<std::set<StPoint>>& corpus, int max_points,
+                      int trials_per_user, stats::Rng& rng);
+
+}  // namespace locpriv::privacy

@@ -1,0 +1,49 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace locpriv::stats {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - m) * (v - m);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double quantile(std::vector<double> values, double q) {
+  LOCPRIV_EXPECT(!values.empty());
+  LOCPRIV_EXPECT(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= values.size()) return values.back();
+  const double fraction = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - fraction) + values[lower + 1] * fraction;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.variance = variance(values);
+  s.stddev = std::sqrt(s.variance);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.median = quantile(values, 0.5);
+  return s;
+}
+
+}  // namespace locpriv::stats

@@ -1,0 +1,33 @@
+// Descriptive statistics over double samples: moments, quantiles, min/max.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace locpriv::stats {
+
+/// Summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1) sample variance; 0 when n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes mean of `values` (0 for empty input).
+double mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (0 when fewer than two values).
+double variance(const std::vector<double>& values);
+
+/// Quantile with linear interpolation between order statistics.
+/// Preconditions: values non-empty, q in [0, 1].
+double quantile(std::vector<double> values, double q);
+
+/// Full summary in one pass plus a sort for the median.
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace locpriv::stats

@@ -1,0 +1,42 @@
+#include "stats/entropy.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace locpriv::stats {
+
+double shannon_entropy(const std::vector<double>& probabilities) {
+  double total = 0.0;
+  for (const double p : probabilities) {
+    LOCPRIV_EXPECT(p >= 0.0);
+    total += p;
+  }
+  LOCPRIV_EXPECT(total > 0.0);
+  double entropy = 0.0;
+  for (const double p : probabilities) {
+    if (p <= 0.0) continue;
+    const double normalized = p / total;
+    entropy -= normalized * std::log2(normalized);
+  }
+  return entropy;
+}
+
+double max_entropy(std::size_t n) {
+  LOCPRIV_EXPECT(n >= 1);
+  return std::log2(static_cast<double>(n));
+}
+
+double degree_of_anonymity(const std::vector<double>& probabilities, std::size_t n) {
+  LOCPRIV_EXPECT(n >= 1);
+  // With a single candidate profile the adversary has identified the user:
+  // the paper defines the degree as zero in that case (and log2(1) = 0 would
+  // otherwise make the ratio undefined).
+  if (n == 1) return 0.0;
+  const double h = shannon_entropy(probabilities);
+  const double hm = max_entropy(n);
+  const double degree = h / hm;
+  return degree < 0.0 ? 0.0 : (degree > 1.0 ? 1.0 : degree);
+}
+
+}  // namespace locpriv::stats

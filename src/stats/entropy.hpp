@@ -1,0 +1,23 @@
+// Shannon entropy and the degree-of-anonymity metric (paper Formulas 3-5,
+// following Diaz et al. "Towards measuring anonymity").
+#pragma once
+
+#include <vector>
+
+namespace locpriv::stats {
+
+/// Shannon entropy in bits of a probability vector. Entries must be >= 0;
+/// they are normalised internally, and zero entries contribute nothing.
+/// Precondition: at least one entry > 0.
+double shannon_entropy(const std::vector<double>& probabilities);
+
+/// Maximum entropy of an anonymity set of `n` members: log2(n). n >= 1.
+double max_entropy(std::size_t n);
+
+/// Degree of anonymity H(X)/H_M in [0, 1] (paper Formula 5). `n` is the
+/// number of profiles the adversary holds; `probabilities` is the posterior
+/// over candidate profiles. A singleton set yields degree 0 by definition
+/// (the user is fully identified).
+double degree_of_anonymity(const std::vector<double>& probabilities, std::size_t n);
+
+}  // namespace locpriv::stats

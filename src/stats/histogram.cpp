@@ -1,0 +1,69 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace locpriv::stats {
+
+BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bin_count)), counts_(bin_count, 0) {
+  LOCPRIV_EXPECT(lo < hi);
+  LOCPRIV_EXPECT(bin_count > 0);
+}
+
+void BinnedHistogram::add(double value) {
+  double position = (value - lo_) / width_;
+  if (position < 0.0) position = 0.0;
+  auto bin = static_cast<std::size_t>(position);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+void BinnedHistogram::add_all(const std::vector<double>& values) {
+  for (const double v : values) add(v);
+}
+
+std::size_t BinnedHistogram::count(std::size_t bin) const {
+  LOCPRIV_EXPECT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double BinnedHistogram::bin_lower(std::size_t bin) const {
+  LOCPRIV_EXPECT(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double BinnedHistogram::bin_upper(std::size_t bin) const {
+  LOCPRIV_EXPECT(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::vector<double> BinnedHistogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  return out;
+}
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  LOCPRIV_EXPECT(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double q) const {
+  LOCPRIV_EXPECT(q > 0.0 && q <= 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+}  // namespace locpriv::stats

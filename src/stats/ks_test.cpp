@@ -1,0 +1,55 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace locpriv::stats {
+
+double ks_survival(double lambda) {
+  LOCPRIV_EXPECT(lambda >= 0.0);
+  if (lambda < 1e-8) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(const std::vector<double>& counts_a,
+                       const std::vector<double>& counts_b) {
+  LOCPRIV_EXPECT(counts_a.size() == counts_b.size());
+  LOCPRIV_EXPECT(counts_a.size() >= 2);
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (std::size_t i = 0; i < counts_a.size(); ++i) {
+    LOCPRIV_EXPECT(counts_a[i] >= 0.0);
+    LOCPRIV_EXPECT(counts_b[i] >= 0.0);
+    total_a += counts_a[i];
+    total_b += counts_b[i];
+  }
+  LOCPRIV_EXPECT(total_a > 0.0);
+  LOCPRIV_EXPECT(total_b > 0.0);
+
+  KsResult result;
+  double cdf_a = 0.0;
+  double cdf_b = 0.0;
+  for (std::size_t i = 0; i < counts_a.size(); ++i) {
+    cdf_a += counts_a[i] / total_a;
+    cdf_b += counts_b[i] / total_b;
+    result.statistic = std::max(result.statistic, std::abs(cdf_a - cdf_b));
+  }
+  result.effective_n = total_a * total_b / (total_a + total_b);
+  const double lambda =
+      (std::sqrt(result.effective_n) + 0.12 + 0.11 / std::sqrt(result.effective_n)) *
+      result.statistic;
+  result.p_value = ks_survival(lambda);
+  return result;
+}
+
+}  // namespace locpriv::stats

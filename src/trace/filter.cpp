@@ -1,0 +1,49 @@
+#include "trace/filter.hpp"
+
+#include "geo/geodesy.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::trace {
+
+std::vector<TracePoint> filter_by_speed(const std::vector<TracePoint>& points,
+                                        double max_speed_mps) {
+  LOCPRIV_EXPECT(max_speed_mps > 0.0);
+  std::vector<TracePoint> kept;
+  kept.reserve(points.size());
+  for (const auto& point : points) {
+    if (!kept.empty()) {
+      const auto dt = point.timestamp_s - kept.back().timestamp_s;
+      const double distance = geo::haversine_m(kept.back().position, point.position);
+      // Zero-dt pairs cannot define a speed; treat any displacement beyond
+      // plausible GPS noise (~100 m) as an outlier there.
+      const bool outlier = dt <= 0 ? distance > 100.0
+                                   : distance / static_cast<double>(dt) > max_speed_mps;
+      if (outlier) continue;
+    }
+    kept.push_back(point);
+  }
+  return kept;
+}
+
+std::vector<TracePoint> dedupe_timestamps(const std::vector<TracePoint>& points) {
+  std::vector<TracePoint> kept;
+  kept.reserve(points.size());
+  for (const auto& point : points) {
+    if (!kept.empty() && kept.back().timestamp_s == point.timestamp_s) continue;
+    kept.push_back(point);
+  }
+  return kept;
+}
+
+CleaningReport clean_trace(const std::vector<TracePoint>& points,
+                           double max_speed_mps) {
+  CleaningReport report;
+  report.input_fixes = points.size();
+  const auto deduped = dedupe_timestamps(points);
+  report.duplicates = points.size() - deduped.size();
+  report.cleaned = filter_by_speed(deduped, max_speed_mps);
+  report.speed_outliers = deduped.size() - report.cleaned.size();
+  return report;
+}
+
+}  // namespace locpriv::trace

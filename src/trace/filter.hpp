@@ -1,0 +1,38 @@
+// GPS trace cleaning. Real recordings (and realistic simulations of them)
+// contain teleport outliers — multipath fixes kilometres off — and bursts
+// of duplicated fixes. Extraction quality depends on removing them, so the
+// cleaning steps live in the library rather than in ad-hoc scripts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trajectory.hpp"
+
+namespace locpriv::trace {
+
+/// Removes fixes whose implied speed from the previous *kept* fix exceeds
+/// `max_speed_mps` (teleport outliers). The first fix is always kept.
+/// Precondition: max_speed_mps > 0.
+std::vector<TracePoint> filter_by_speed(const std::vector<TracePoint>& points,
+                                        double max_speed_mps);
+
+/// Collapses runs of fixes that share a timestamp, keeping the first of
+/// each run (duplicate suppression for loggers that double-write).
+std::vector<TracePoint> dedupe_timestamps(const std::vector<TracePoint>& points);
+
+/// Result of a cleaning pass.
+struct CleaningReport {
+  std::size_t input_fixes = 0;
+  std::size_t speed_outliers = 0;
+  std::size_t duplicates = 0;
+  std::vector<TracePoint> cleaned;
+};
+
+/// Standard cleaning: dedupe, then speed-filter at `max_speed_mps`
+/// (default 70 m/s — faster than any urban transport, slower than a
+/// multipath teleport).
+CleaningReport clean_trace(const std::vector<TracePoint>& points,
+                           double max_speed_mps = 70.0);
+
+}  // namespace locpriv::trace

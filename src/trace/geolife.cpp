@@ -1,0 +1,156 @@
+#include "trace/geolife.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace locpriv::trace {
+
+namespace fs = std::filesystem;
+
+std::int64_t plt_days_to_unix_s(double days_since_1899) {
+  return static_cast<std::int64_t>(
+      std::llround((days_since_1899 - kPltEpochToUnixDays) * 86400.0));
+}
+
+double unix_s_to_plt_days(std::int64_t unix_s) {
+  return static_cast<double>(unix_s) / 86400.0 + kPltEpochToUnixDays;
+}
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_number, const std::string& detail) {
+  std::ostringstream os;
+  os << "PLT parse error at line " << line_number << ": " << detail;
+  throw std::runtime_error(os.str());
+}
+
+// Formats Unix seconds as the "YYYY-MM-DD" and "HH:MM:SS" columns.
+void format_date_time(std::int64_t unix_s, std::string& date, std::string& time) {
+  const auto t = static_cast<std::time_t>(unix_s);
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", tm_utc.tm_year + 1900,
+                tm_utc.tm_mon + 1, tm_utc.tm_mday);
+  date = buffer;
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%02d", tm_utc.tm_hour, tm_utc.tm_min,
+                tm_utc.tm_sec);
+  time = buffer;
+}
+
+}  // namespace
+
+Trajectory parse_plt(std::string_view text) {
+  std::vector<TracePoint> points;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = util::trim(text.substr(pos, end - pos));
+    pos = end + 1;
+    ++line_number;
+    if (line_number <= 6) continue;  // Fixed-size prose header.
+    if (line.empty()) continue;
+    const auto fields = util::split(line, ',');
+    if (fields.size() < 5) parse_error(line_number, "expected >= 5 fields");
+    double lat = 0.0;
+    double lon = 0.0;
+    double days = 0.0;
+    if (!util::parse_double(fields[0], lat)) parse_error(line_number, "bad latitude");
+    if (!util::parse_double(fields[1], lon)) parse_error(line_number, "bad longitude");
+    if (!util::parse_double(fields[4], days)) parse_error(line_number, "bad timestamp");
+    if (lat < -90.0 || lat > 90.0) parse_error(line_number, "latitude out of range");
+    if (lon < -180.0 || lon > 180.0) parse_error(line_number, "longitude out of range");
+    points.push_back(TracePoint{{lat, lon}, plt_days_to_unix_s(days)});
+  }
+  // Geolife files are chronological, but tolerate duplicated timestamps and
+  // occasional clock jitter by stable-sorting before constructing.
+  std::stable_sort(points.begin(), points.end(),
+                   [](const TracePoint& a, const TracePoint& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+  return Trajectory(std::move(points));
+}
+
+std::string write_plt(const Trajectory& trajectory) {
+  std::ostringstream os;
+  os << "Geolife trajectory\n"
+        "WGS 84\n"
+        "Altitude is in Feet\n"
+        "Reserved 3\n"
+        "0,2,255,My Track,0,0,2,8421376\n"
+     << trajectory.size() << '\n';
+  for (const auto& point : trajectory) {
+    std::string date;
+    std::string time;
+    format_date_time(point.timestamp_s, date, time);
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "%.6f,%.6f,0,0,%.10f,%s,%s\n",
+                  point.position.lat_deg, point.position.lon_deg,
+                  unix_s_to_plt_days(point.timestamp_s), date.c_str(), time.c_str());
+    os << buffer;
+  }
+  return os.str();
+}
+
+std::vector<UserTrace> read_geolife_dataset(const fs::path& root) {
+  if (!fs::exists(root))
+    throw std::runtime_error("Geolife root does not exist: " + root.string());
+
+  std::vector<UserTrace> users;
+  std::vector<fs::path> user_dirs;
+  for (const auto& entry : fs::directory_iterator(root))
+    if (entry.is_directory()) user_dirs.push_back(entry.path());
+  std::sort(user_dirs.begin(), user_dirs.end());
+
+  for (const auto& user_dir : user_dirs) {
+    const fs::path trajectory_dir = user_dir / "Trajectory";
+    if (!fs::exists(trajectory_dir)) continue;
+    UserTrace user;
+    user.user_id = user_dir.filename().string();
+    std::vector<fs::path> plt_files;
+    for (const auto& entry : fs::directory_iterator(trajectory_dir))
+      if (entry.is_regular_file() && entry.path().extension() == ".plt")
+        plt_files.push_back(entry.path());
+    std::sort(plt_files.begin(), plt_files.end());
+    for (const auto& file : plt_files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open " + file.string());
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      Trajectory trajectory = parse_plt(buffer.str());
+      if (!trajectory.empty()) user.trajectories.push_back(std::move(trajectory));
+    }
+    std::sort(user.trajectories.begin(), user.trajectories.end(),
+              [](const Trajectory& a, const Trajectory& b) {
+                return a.front().timestamp_s < b.front().timestamp_s;
+              });
+    if (!user.trajectories.empty()) users.push_back(std::move(user));
+  }
+  return users;
+}
+
+void write_geolife_dataset(const fs::path& root, const std::vector<UserTrace>& users) {
+  for (const auto& user : users) {
+    const fs::path trajectory_dir = root / user.user_id / "Trajectory";
+    fs::create_directories(trajectory_dir);
+    std::size_t index = 0;
+    for (const auto& trajectory : user.trajectories) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "%06zu.plt", index++);
+      std::ofstream out(trajectory_dir / name, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + (trajectory_dir / name).string());
+      out << write_plt(trajectory);
+    }
+  }
+}
+
+}  // namespace locpriv::trace

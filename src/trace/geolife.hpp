@@ -1,0 +1,49 @@
+// Geolife .plt trajectory format.
+//
+// The paper evaluates on the Geolife GPS dataset (182 users, 17,621
+// trajectories). The dataset itself is not redistributable, so this repo
+// synthesises a Geolife-like dataset (src/mobility); the reader/writer here
+// lets the full pipeline run unchanged on the real dataset when a copy is
+// available, and round-trips the synthetic one through the identical format.
+//
+// PLT layout (per the Geolife user guide): six header lines, then records
+//   lat,lon,0,altitude_ft,days_since_1899-12-30,date,time
+// e.g. "39.906631,116.385564,0,492,39745.0902,2008-10-24,02:09:59".
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trajectory.hpp"
+
+namespace locpriv::trace {
+
+/// Days between the PLT epoch (1899-12-30) and the Unix epoch (1970-01-01).
+inline constexpr double kPltEpochToUnixDays = 25569.0;
+
+/// Converts a PLT fractional-day timestamp to Unix seconds (rounded).
+std::int64_t plt_days_to_unix_s(double days_since_1899);
+
+/// Converts Unix seconds to a PLT fractional-day timestamp.
+double unix_s_to_plt_days(std::int64_t unix_s);
+
+/// Parses one .plt document from memory. Throws std::runtime_error with the
+/// offending line number on malformed input.
+Trajectory parse_plt(std::string_view text);
+
+/// Serialises a trajectory to .plt text (Geolife header + records).
+std::string write_plt(const Trajectory& trajectory);
+
+/// Reads a whole Geolife-layout dataset: root/<user_id>/Trajectory/*.plt.
+/// Users are returned sorted by id; each user's trajectories sorted by
+/// start time. Throws std::runtime_error if root does not exist.
+std::vector<UserTrace> read_geolife_dataset(const std::filesystem::path& root);
+
+/// Writes a dataset in Geolife layout under `root` (created if needed).
+void write_geolife_dataset(const std::filesystem::path& root,
+                           const std::vector<UserTrace>& users);
+
+}  // namespace locpriv::trace

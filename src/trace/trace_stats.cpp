@@ -1,0 +1,43 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+
+namespace locpriv::trace {
+
+std::vector<double> sampling_intervals_s(const UserTrace& user) {
+  std::vector<double> intervals;
+  for (const auto& trajectory : user.trajectories)
+    for (std::size_t i = 1; i < trajectory.size(); ++i)
+      intervals.push_back(static_cast<double>(trajectory[i].timestamp_s -
+                                              trajectory[i - 1].timestamp_s));
+  return intervals;
+}
+
+DatasetStats compute_dataset_stats(const std::vector<UserTrace>& users) {
+  DatasetStats stats;
+  stats.user_count = users.size();
+  std::vector<double> all_intervals;
+  for (const auto& user : users) {
+    stats.trajectory_count += user.trajectories.size();
+    stats.point_count += user.total_points();
+    for (const auto& trajectory : user.trajectories) {
+      stats.total_length_km += trajectory.length_m() / 1000.0;
+      stats.total_duration_hours += static_cast<double>(trajectory.duration_s()) / 3600.0;
+    }
+    auto intervals = sampling_intervals_s(user);
+    all_intervals.insert(all_intervals.end(), intervals.begin(), intervals.end());
+  }
+  if (!all_intervals.empty()) {
+    const auto high_frequency =
+        std::count_if(all_intervals.begin(), all_intervals.end(),
+                      [](double v) { return v >= 1.0 && v <= 5.0; });
+    stats.high_frequency_fraction =
+        static_cast<double>(high_frequency) / static_cast<double>(all_intervals.size());
+    stats.median_interval_s = stats::quantile(all_intervals, 0.5);
+  }
+  return stats;
+}
+
+}  // namespace locpriv::trace

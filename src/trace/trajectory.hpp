@@ -1,0 +1,77 @@
+// Trajectory data model.
+//
+// A TracePoint is one GPS fix (position + Unix timestamp in seconds). A
+// Trajectory is a time-ordered sequence of fixes, matching one Geolife .plt
+// file (one recording session). A UserTrace is all trajectories of one user.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.hpp"
+
+namespace locpriv::trace {
+
+/// One GPS fix.
+struct TracePoint {
+  geo::LatLon position;
+  std::int64_t timestamp_s = 0;  ///< Unix time, seconds.
+
+  friend bool operator==(const TracePoint&, const TracePoint&) = default;
+};
+
+/// A time-ordered sequence of GPS fixes. Maintains the invariant that
+/// timestamps are non-decreasing (append enforces it).
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Builds from points; they must already be in non-decreasing time order.
+  explicit Trajectory(std::vector<TracePoint> points);
+
+  /// Appends a fix. Precondition: its timestamp is >= the last one's.
+  void append(const TracePoint& point);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const TracePoint& operator[](std::size_t i) const { return points_[i]; }
+  const TracePoint& front() const { return points_.front(); }
+  const TracePoint& back() const { return points_.back(); }
+  const std::vector<TracePoint>& points() const { return points_; }
+
+  auto begin() const { return points_.begin(); }
+  auto end() const { return points_.end(); }
+
+  /// Elapsed time in seconds between first and last fix (0 for < 2 points).
+  std::int64_t duration_s() const;
+
+  /// Total path length in meters (haversine, 0 for < 2 points).
+  double length_m() const;
+
+  /// Splits at time gaps larger than `max_gap_s`: a trajectory with a long
+  /// recording hole becomes several contiguous segments. Used to keep
+  /// synthetic multi-day traces analogous to Geolife's per-session files.
+  /// Precondition: max_gap_s > 0.
+  std::vector<Trajectory> split_on_gaps(std::int64_t max_gap_s) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+/// All trajectories of one user.
+struct UserTrace {
+  std::string user_id;
+  std::vector<Trajectory> trajectories;
+
+  /// Total fix count over all trajectories.
+  std::size_t total_points() const;
+
+  /// Concatenates all trajectories into one point list in global time
+  /// order. Precondition: trajectories are mutually non-overlapping and
+  /// stored in chronological order (both hold for Geolife and for the
+  /// synthesiser output).
+  std::vector<TracePoint> flattened() const;
+};
+
+}  // namespace locpriv::trace

@@ -1,0 +1,84 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace locpriv::util {
+
+void Args::declare(const std::string& flag, std::string default_value) {
+  values_[flag] = std::move(default_value);
+  supplied_[flag] = false;
+}
+
+void Args::declare_bool(const std::string& flag) {
+  booleans_[flag] = false;
+  supplied_[flag] = false;
+}
+
+void Args::parse(int argc, const char* const* argv, int begin) {
+  for (int i = begin; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    std::string flag = token;
+    std::optional<std::string> inline_value;
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      flag = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+    }
+    if (booleans_.contains(flag)) {
+      if (inline_value) throw std::runtime_error("boolean flag takes no value: " + flag);
+      booleans_[flag] = true;
+      supplied_[flag] = true;
+      continue;
+    }
+    const auto it = values_.find(flag);
+    if (it == values_.end()) throw std::runtime_error("unknown flag: " + flag);
+    if (inline_value) {
+      it->second = *inline_value;
+    } else {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for flag: " + flag);
+      it->second = argv[++i];
+    }
+    supplied_[flag] = true;
+  }
+}
+
+const std::string& Args::get(const std::string& flag) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) throw std::runtime_error("undeclared flag: " + flag);
+  return it->second;
+}
+
+long long Args::get_int(const std::string& flag) const {
+  long long value = 0;
+  if (!parse_int64(get(flag), value))
+    throw std::runtime_error("flag " + flag + " expects an integer, got '" +
+                             get(flag) + "'");
+  return value;
+}
+
+double Args::get_double(const std::string& flag) const {
+  double value = 0.0;
+  if (!parse_double(get(flag), value))
+    throw std::runtime_error("flag " + flag + " expects a number, got '" + get(flag) +
+                             "'");
+  return value;
+}
+
+bool Args::get_bool(const std::string& flag) const {
+  const auto it = booleans_.find(flag);
+  if (it == booleans_.end()) throw std::runtime_error("undeclared flag: " + flag);
+  return it->second;
+}
+
+bool Args::supplied(const std::string& flag) const {
+  const auto it = supplied_.find(flag);
+  return it != supplied_.end() && it->second;
+}
+
+}  // namespace locpriv::util

@@ -1,0 +1,94 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+namespace locpriv::util {
+
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record and
+// its terminating newline. Handles quoted fields with embedded commas,
+// newlines, and doubled quotes.
+std::vector<std::string> parse_record(std::string_view text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+      ++pos;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++pos;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++pos;
+    } else if (c == '\n' || c == '\r') {
+      // Consume one line terminator (\n, \r, or \r\n) and finish the record.
+      ++pos;
+      if (c == '\r' && pos < text.size() && text[pos] == '\n') ++pos;
+      break;
+    } else {
+      current += c;
+      ++pos;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+CsvDocument parse_csv(std::string_view text, bool has_header) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    auto record = parse_record(text, pos);
+    // Skip completely empty trailing lines.
+    if (record.size() == 1 && record[0].empty()) continue;
+    if (first && has_header) {
+      doc.header = std::move(record);
+    } else {
+      doc.rows.push_back(std::move(record));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace locpriv::util

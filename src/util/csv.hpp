@@ -1,0 +1,40 @@
+// CSV reading/writing used by benches (to dump series for plotting) and by
+// the Geolife PLT parser (PLT is a comma-separated format with a header).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locpriv::util {
+
+/// A parsed CSV document: a header row (possibly empty) and data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Quoting rules: fields may be wrapped in double quotes,
+/// inside which commas and doubled quotes ("") are literal. `has_header`
+/// controls whether the first row populates `header` or `rows`.
+CsvDocument parse_csv(std::string_view text, bool has_header);
+
+/// Escapes a single field for CSV output (quotes when it contains a comma,
+/// quote, or newline).
+std::string csv_escape(std::string_view field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row, escaping each field.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace locpriv::util

@@ -1,0 +1,44 @@
+// Precondition / postcondition helpers in the spirit of the C++ Core
+// Guidelines (I.6 / I.8). Violations indicate a programming error, so they
+// throw std::logic_error with location context rather than silently
+// continuing; callers treat them as bugs, not recoverable conditions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace locpriv::util {
+
+/// Thrown when a stated precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(std::string_view kind, std::string_view expr,
+                                       std::string_view file, int line) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace locpriv::util
+
+/// State a precondition. `LOCPRIV_EXPECT(n > 0)` throws ContractViolation on
+/// violation. Kept enabled in all build types: these guard API misuse, and
+/// the cost is negligible next to the work the guarded functions do.
+#define LOCPRIV_EXPECT(expr)                                                      \
+  do {                                                                            \
+    if (!(expr))                                                                  \
+      ::locpriv::util::detail::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// State a postcondition or internal invariant.
+#define LOCPRIV_ENSURE(expr)                                                      \
+  do {                                                                            \
+    if (!(expr))                                                                  \
+      ::locpriv::util::detail::contract_fail("postcondition", #expr, __FILE__, __LINE__); \
+  } while (false)

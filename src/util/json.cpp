@@ -1,0 +1,127 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/expect.hpp"
+
+namespace locpriv::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (key_pending_) return;  // Value follows its key directly.
+  if (!stack_.empty() && has_items_.back()) out_ += ',';
+  if (!stack_.empty()) has_items_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  key_pending_ = false;
+  out_ += '{';
+  stack_.push_back('o');
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  LOCPRIV_EXPECT(!stack_.empty() && stack_.back() == 'o');
+  LOCPRIV_EXPECT(!key_pending_);
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  key_pending_ = false;
+  out_ += '[';
+  stack_.push_back('a');
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  LOCPRIV_EXPECT(!stack_.empty() && stack_.back() == 'a');
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  LOCPRIV_EXPECT(!stack_.empty() && stack_.back() == 'o');
+  LOCPRIV_EXPECT(!key_pending_);
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  comma_if_needed();
+  key_pending_ = false;
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(double number) {
+  comma_if_needed();
+  key_pending_ = false;
+  LOCPRIV_EXPECT(std::isfinite(number));
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", number);
+  out_ += buffer;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  comma_if_needed();
+  key_pending_ = false;
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  comma_if_needed();
+  key_pending_ = false;
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  comma_if_needed();
+  key_pending_ = false;
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_if_needed();
+  key_pending_ = false;
+  out_ += "null";
+}
+
+const std::string& JsonWriter::str() const {
+  LOCPRIV_EXPECT(stack_.empty());
+  return out_;
+}
+
+}  // namespace locpriv::util

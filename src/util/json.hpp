@@ -1,0 +1,63 @@
+// Minimal JSON writer (no parser — the library only emits JSON, for CLI
+// consumers). Produces compact, valid output with correct string escaping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locpriv::util {
+
+/// Escapes a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view text);
+
+/// Builder for one JSON value tree. Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("users");
+///   json.value(182);
+///   json.end_object();
+///   json.str();
+/// The builder validates nesting (begin/end pairing) via contracts.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key (must be inside an object, before its value).
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(std::uint64_t number);
+  void value(bool flag);
+  void null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  void member(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// The finished document. Precondition: all scopes closed.
+  const std::string& str() const;
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  // Stack of scopes: 'o' = object, 'a' = array; tracks whether the next
+  // emission needs a separating comma and whether a key is pending.
+  std::vector<char> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+}  // namespace locpriv::util

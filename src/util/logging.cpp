@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace locpriv::util {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_threshold.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_threshold.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const auto now = std::chrono::system_clock::now();
+  const auto secs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count();
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%lld.%03lld] %-5.*s %.*s: %.*s\n",
+               static_cast<long long>(secs / 1000), static_cast<long long>(secs % 1000),
+               static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace locpriv::util

@@ -1,0 +1,51 @@
+// Minimal leveled logger. A single process-wide sink (stderr by default) with
+// a runtime-settable threshold; formatting is plain ostream insertion so the
+// library adds no dependencies. Not a singleton class (I.3) — free functions
+// over one translation-unit-local state object, configured once at startup.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace locpriv::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns a short uppercase tag for a level ("DEBUG", "INFO", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global threshold.
+LogLevel log_level();
+
+/// Emits one formatted line to the log sink if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Builder used by the LOCPRIV_LOG macro; collects a message via `<<`.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace locpriv::util
+
+#define LOCPRIV_LOG(level, component) \
+  ::locpriv::util::LogMessage(::locpriv::util::LogLevel::level, component)

@@ -1,0 +1,47 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace locpriv::util {
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned max_threads) {
+  if (count == 0) return;
+  unsigned threads = max_threads == 0 ? std::thread::hardware_concurrency() : max_threads;
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, count));
+
+  // Tiny workloads are not worth the thread spawn.
+  if (threads <= 1 || count < 4) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (count + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace locpriv::util

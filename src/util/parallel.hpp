@@ -1,0 +1,24 @@
+// Deterministic data-parallel loop. Work is split into contiguous index
+// chunks across hardware threads; callers write results into pre-sized
+// slots keyed by index, so the output is identical to the sequential run
+// regardless of thread count. Any randomness must be pre-derived per index
+// (fork seeds sequentially, then run in parallel).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace locpriv::util {
+
+/// Invokes `body(i)` for every i in [0, count). `body` runs concurrently
+/// for distinct indices; it must not touch shared mutable state without
+/// synchronisation. The first exception thrown by any invocation is
+/// rethrown on the caller's thread after all workers join.
+///
+/// `max_threads` caps the worker count (0 = hardware concurrency). Passing
+/// 1 degenerates to a plain sequential loop, which is also the fallback
+/// when count is small.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned max_threads = 0);
+
+}  // namespace locpriv::util

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.hpp"
+#include "trace/filter.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::trace {
+namespace {
+
+const geo::LatLon kAnchor{39.9042, 116.4074};
+
+TracePoint fix(std::int64_t t, double distance_m = 0.0, double bearing = 90.0) {
+  return {distance_m == 0.0 ? kAnchor : geo::destination(kAnchor, bearing, distance_m),
+          t};
+}
+
+TEST(SpeedFilter, KeepsPlausibleMovement) {
+  // Walking pace: 1.4 m/s.
+  std::vector<TracePoint> points;
+  for (int i = 0; i < 20; ++i) points.push_back(fix(i * 3, i * 4.2));
+  EXPECT_EQ(filter_by_speed(points, 70.0).size(), points.size());
+}
+
+TEST(SpeedFilter, DropsTeleportOutlier) {
+  std::vector<TracePoint> points{fix(0, 0.0), fix(3, 4.0), fix(6, 5000.0),
+                                 fix(9, 12.0)};
+  const auto kept = filter_by_speed(points, 70.0);
+  ASSERT_EQ(kept.size(), 3u);
+  // The teleport is gone; the fix after it chains to the last good fix.
+  EXPECT_EQ(kept[2].timestamp_s, 9);
+}
+
+TEST(SpeedFilter, ConsecutiveOutliersAllDropped) {
+  std::vector<TracePoint> points{fix(0), fix(1, 9000.0), fix(2, 9100.0), fix(3, 2.0)};
+  const auto kept = filter_by_speed(points, 70.0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[1].timestamp_s, 3);
+}
+
+TEST(SpeedFilter, ZeroDtUsesDistanceGuard) {
+  // Same timestamp, 50 m apart: plausible GPS noise, kept.
+  std::vector<TracePoint> near{fix(5), {geo::destination(kAnchor, 0.0, 50.0), 5}};
+  EXPECT_EQ(filter_by_speed(near, 70.0).size(), 2u);
+  // Same timestamp, 5 km apart: dropped.
+  std::vector<TracePoint> far{fix(5), {geo::destination(kAnchor, 0.0, 5000.0), 5}};
+  EXPECT_EQ(filter_by_speed(far, 70.0).size(), 1u);
+}
+
+TEST(SpeedFilter, Preconditions) {
+  EXPECT_THROW(filter_by_speed({}, 0.0), util::ContractViolation);
+  EXPECT_TRUE(filter_by_speed({}, 70.0).empty());
+}
+
+TEST(DedupeTimestamps, KeepsFirstOfEachRun) {
+  std::vector<TracePoint> points{fix(1), fix(1, 10.0), fix(2), fix(2, 5.0), fix(3)};
+  const auto kept = dedupe_timestamps(points);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].position, kAnchor);  // First of the t=1 run.
+}
+
+TEST(CleanTrace, ReportsCounts) {
+  std::vector<TracePoint> points{fix(0), fix(0, 1.0), fix(3, 4.0), fix(6, 9000.0),
+                                 fix(9, 10.0)};
+  const CleaningReport report = clean_trace(points);
+  EXPECT_EQ(report.input_fixes, 5u);
+  EXPECT_EQ(report.duplicates, 1u);
+  EXPECT_EQ(report.speed_outliers, 1u);
+  EXPECT_EQ(report.cleaned.size(), 3u);
+}
+
+TEST(CleanTrace, CleanInputPassesThrough) {
+  std::vector<TracePoint> points;
+  for (int i = 0; i < 10; ++i) points.push_back(fix(i * 5, i * 10.0));
+  const CleaningReport report = clean_trace(points);
+  EXPECT_EQ(report.duplicates, 0u);
+  EXPECT_EQ(report.speed_outliers, 0u);
+  EXPECT_EQ(report.cleaned.size(), 10u);
+}
+
+}  // namespace
+}  // namespace locpriv::trace

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.hpp"
+#include "privacy/inference.hpp"
+#include "trace/sampling.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::privacy {
+namespace {
+
+const geo::LatLon kAnchor{39.9042, 116.4074};
+// 2008-06-02 00:00 UTC, a Monday.
+constexpr std::int64_t kMonday = 1212364800;
+
+poi::Poi place_with_visits(int id, const geo::LatLon& where,
+                           std::initializer_list<std::pair<std::int64_t, std::int64_t>>
+                               intervals) {
+  poi::Poi poi;
+  poi.id = id;
+  poi.centroid = where;
+  for (const auto& [enter, exit] : intervals)
+    poi.visits.push_back({where, enter, exit, 10});
+  return poi;
+}
+
+TEST(SplitDwell, NightWindow) {
+  // 23:00 -> 07:00: 7 h night (23-24 + 0-6), 0 workday (before 09:00).
+  const auto split = split_dwell(kMonday + 23 * 3600, kMonday + 31 * 3600);
+  EXPECT_DOUBLE_EQ(split.night_s, 7.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(split.workday_s, 0.0);
+}
+
+TEST(SplitDwell, WorkdayWindowOnWeekday) {
+  // Monday 10:00 -> 16:00: all workday, no night.
+  const auto split = split_dwell(kMonday + 10 * 3600, kMonday + 16 * 3600);
+  EXPECT_DOUBLE_EQ(split.workday_s, 6.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(split.night_s, 0.0);
+}
+
+TEST(SplitDwell, WeekendDaytimeIsNotWorkday) {
+  // kMonday - 1 day = Sunday.
+  const std::int64_t sunday = kMonday - 86400;
+  const auto split = split_dwell(sunday + 10 * 3600, sunday + 16 * 3600);
+  EXPECT_DOUBLE_EQ(split.workday_s, 0.0);
+}
+
+TEST(SplitDwell, MultiDayStayAccumulates) {
+  // Two full days: 2 x 8 h night.
+  const auto split = split_dwell(kMonday, kMonday + 2 * 86400);
+  EXPECT_DOUBLE_EQ(split.night_s, 16.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(split.workday_s, 18.0 * 3600.0);  // Mon + Tue working hours.
+}
+
+TEST(SplitDwell, EmptyInterval) {
+  const auto split = split_dwell(kMonday, kMonday);
+  EXPECT_DOUBLE_EQ(split.night_s, 0.0);
+  EXPECT_DOUBLE_EQ(split.workday_s, 0.0);
+  EXPECT_THROW(split_dwell(kMonday, kMonday - 1), util::ContractViolation);
+}
+
+TEST(InferHomeWork, FindsNightPlaceAndDayPlace) {
+  const RegionGrid grid(kAnchor, 250.0);
+  const geo::LatLon home_position = kAnchor;
+  const geo::LatLon work_position = geo::destination(kAnchor, 90.0, 3000.0);
+  const geo::LatLon gym_position = geo::destination(kAnchor, 0.0, 2000.0);
+  std::vector<poi::Poi> pois;
+  // Home: overnight stays. Work: Monday+Tuesday 9-17. Gym: one evening hour.
+  pois.push_back(place_with_visits(0, home_position,
+                                   {{kMonday - 8 * 3600, kMonday + 7 * 3600},
+                                    {kMonday + 20 * 3600, kMonday + 31 * 3600}}));
+  pois.push_back(place_with_visits(
+      1, work_position,
+      {{kMonday + 9 * 3600, kMonday + 17 * 3600},
+       {kMonday + 86400 + 9 * 3600, kMonday + 86400 + 17 * 3600}}));
+  pois.push_back(place_with_visits(2, gym_position,
+                                   {{kMonday + 18 * 3600, kMonday + 19 * 3600}}));
+
+  const HomeWorkResult result = infer_home_work(pois, grid);
+  ASSERT_TRUE(result.resolved());
+  EXPECT_EQ(result.home_index, 0);
+  EXPECT_EQ(result.work_index, 1);
+  EXPECT_EQ(result.home_region, grid.region_of(home_position));
+  EXPECT_EQ(result.work_region, grid.region_of(work_position));
+  EXPECT_GT(result.home_night_s, 10.0 * 3600.0);
+  EXPECT_GT(result.work_workday_s, 15.0 * 3600.0);
+}
+
+TEST(InferHomeWork, UnresolvedWithoutNightDwell) {
+  const RegionGrid grid(kAnchor, 250.0);
+  std::vector<poi::Poi> pois;
+  pois.push_back(place_with_visits(0, kAnchor,
+                                   {{kMonday + 10 * 3600, kMonday + 11 * 3600}}));
+  const HomeWorkResult result = infer_home_work(pois, grid);
+  EXPECT_EQ(result.home_index, -1);
+  EXPECT_FALSE(result.resolved());
+}
+
+TEST(PairAnonymity, CountsSharersIncludingSelf) {
+  HomeWorkResult a;
+  a.home_index = a.work_index = 0;
+  a.home_region = 10;
+  a.work_region = 20;
+  HomeWorkResult b = a;              // Same pair.
+  HomeWorkResult c = a;
+  c.work_region = 21;                // Different work.
+  HomeWorkResult d;                  // Unresolved.
+  const std::vector<HomeWorkResult> population{a, b, c, d};
+  EXPECT_EQ(pair_anonymity_set(population, 0), 2u);
+  EXPECT_EQ(pair_anonymity_set(population, 2), 1u);
+  EXPECT_THROW(pair_anonymity_set(population, 3), util::ContractViolation);
+  EXPECT_THROW(pair_anonymity_set(population, 9), util::ContractViolation);
+}
+
+TEST(TimeToConfusion, SingleContinuousEpisode) {
+  std::vector<trace::TracePoint> points;
+  for (int i = 0; i <= 100; ++i)
+    points.push_back({geo::destination(kAnchor, 90.0, i * 3.0), i * 2});
+  const TrackingStats stats = time_to_confusion(points, 60, 30.0);
+  EXPECT_EQ(stats.episode_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.max_s, 200.0);
+  EXPECT_DOUBLE_EQ(stats.mean_s, 200.0);
+}
+
+TEST(TimeToConfusion, GapBreaksTracking) {
+  std::vector<trace::TracePoint> points;
+  for (int i = 0; i < 10; ++i) points.push_back({kAnchor, i});
+  for (int i = 0; i < 10; ++i) points.push_back({kAnchor, 1000 + i});
+  const TrackingStats stats = time_to_confusion(points, 60, 30.0);
+  EXPECT_EQ(stats.episode_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.max_s, 9.0);
+}
+
+TEST(TimeToConfusion, ImplausibleSpeedBreaksTracking) {
+  std::vector<trace::TracePoint> points{
+      {kAnchor, 0},
+      {geo::destination(kAnchor, 90.0, 10.0), 5},
+      {geo::destination(kAnchor, 90.0, 50000.0), 10},  // 10 km/s jump.
+  };
+  const TrackingStats stats = time_to_confusion(points, 60, 30.0);
+  EXPECT_EQ(stats.episode_count, 2u);
+}
+
+TEST(TimeToConfusion, EmptyAndPreconditions) {
+  const TrackingStats stats = time_to_confusion({}, 60, 30.0);
+  EXPECT_EQ(stats.episode_count, 0u);
+  std::vector<trace::TracePoint> one{{kAnchor, 0}};
+  EXPECT_THROW(time_to_confusion(one, 0, 30.0), util::ContractViolation);
+  EXPECT_THROW(time_to_confusion(one, 60, 0.0), util::ContractViolation);
+}
+
+TEST(TimeToConfusion, DecimationShortensTracking) {
+  // Property: the sparser the released trace, the shorter the continuous
+  // tracking episodes (with a fixed linkability gap).
+  std::vector<trace::TracePoint> points;
+  for (int i = 0; i < 4000; ++i)
+    points.push_back({geo::destination(kAnchor, 45.0, i * 2.0), i * 3});
+  const TrackingStats dense = time_to_confusion(points, 120, 30.0);
+  const auto sparse_points = trace::decimate(points, 300);
+  const TrackingStats sparse = time_to_confusion(sparse_points, 120, 30.0);
+  EXPECT_GT(dense.max_s, sparse.max_s);
+}
+
+}  // namespace
+}  // namespace locpriv::privacy

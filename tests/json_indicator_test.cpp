@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "android/indicator.hpp"
+#include "util/expect.hpp"
+#include "util/json.hpp"
+
+namespace locpriv {
+namespace {
+
+// ----------------------------------------------------------------- JSON --
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(util::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(util::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ObjectWithMixedMembers) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.member("name", "user \"007\"");
+  json.member("count", 42);
+  json.member("ratio", 0.5);
+  json.member("flag", true);
+  json.key("nothing");
+  json.null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"user \"007\"","count":42,"ratio":0.5,"flag":true,"nothing":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("series");
+  json.begin_array();
+  json.value(1);
+  json.value(2);
+  json.begin_object();
+  json.member("x", 3);
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"series":[1,2,{"x":3}]})");
+}
+
+TEST(Json, EmptyContainers) {
+  util::JsonWriter object;
+  object.begin_object();
+  object.end_object();
+  EXPECT_EQ(object.str(), "{}");
+  util::JsonWriter array;
+  array.begin_array();
+  array.end_array();
+  EXPECT_EQ(array.str(), "[]");
+}
+
+TEST(Json, ContractsOnMisuse) {
+  util::JsonWriter unclosed;
+  unclosed.begin_object();
+  EXPECT_THROW(unclosed.str(), util::ContractViolation);
+
+  util::JsonWriter bad_end;
+  bad_end.begin_array();
+  EXPECT_THROW(bad_end.end_object(), util::ContractViolation);
+
+  util::JsonWriter key_in_array;
+  key_in_array.begin_array();
+  EXPECT_THROW(key_in_array.key("x"), util::ContractViolation);
+
+  util::JsonWriter nan_value;
+  nan_value.begin_array();
+  EXPECT_THROW(nan_value.value(std::nan("")), util::ContractViolation);
+}
+
+// ------------------------------------------------------------ indicator --
+
+android::Delivery delivery(const std::string& package, std::int64_t t) {
+  android::Delivery d;
+  d.package = package;
+  d.location.time_s = t;
+  return d;
+}
+
+TEST(Indicator, MergesCloseDeliveriesIntoOneSpan) {
+  const std::vector<android::Delivery> log{
+      delivery("a", 100), delivery("a", 105), delivery("a", 112)};
+  const auto spans = android::indicator_spans(log, 10);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin_s, 100);
+  EXPECT_EQ(spans[0].end_s, 122);
+  ASSERT_EQ(spans[0].packages.size(), 1u);
+}
+
+TEST(Indicator, SplitsOnGapsBeyondLinger) {
+  const std::vector<android::Delivery> log{delivery("a", 100), delivery("a", 200)};
+  const auto spans = android::indicator_spans(log, 10);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].begin_s, 200);
+}
+
+TEST(Indicator, SharedSpanListsBothApps) {
+  const std::vector<android::Delivery> log{
+      delivery("fg", 100), delivery("bg", 104), delivery("fg", 108)};
+  const auto spans = android::indicator_spans(log, 10);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].packages.size(), 2u);
+}
+
+TEST(Indicator, AttributionSeparatesSoleAndAmbiguous) {
+  const std::vector<android::Delivery> log{
+      delivery("a", 0),                       // Sole span: [0, 10).
+      delivery("a", 100), delivery("b", 105), // Shared span: [100, 115).
+      delivery("b", 300),                     // Sole span for b.
+  };
+  const auto attribution =
+      android::attribute_indicator(android::indicator_spans(log, 10));
+  EXPECT_EQ(attribution.sole_s.at("a"), 10);
+  EXPECT_EQ(attribution.sole_s.at("b"), 10);
+  EXPECT_EQ(attribution.ambiguous_s, 15);
+  EXPECT_EQ(attribution.lit_s, 35);
+}
+
+TEST(Indicator, EmptyLogAndPreconditions) {
+  EXPECT_TRUE(android::indicator_spans({}, 10).empty());
+  EXPECT_THROW(android::indicator_spans({}, 0), util::ContractViolation);
+  const auto attribution = android::attribute_indicator({});
+  EXPECT_EQ(attribution.lit_s, 0);
+}
+
+}  // namespace
+}  // namespace locpriv

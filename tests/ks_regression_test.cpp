@@ -1,0 +1,164 @@
+// Kolmogorov-Smirnov matcher tests, plus regression pins on the headline
+// reproduction numbers (reduced scale) so a refactor that silently changes
+// an experiment's outcome fails in CI rather than in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "market/catalog.hpp"
+#include "market/study.hpp"
+#include "privacy/matching.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/rng.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv {
+namespace {
+
+// ---------------------------------------------------------------- KS ----
+
+TEST(KsTest, IdenticalDistributionsHaveZeroStatistic) {
+  const std::vector<double> counts{10.0, 20.0, 30.0, 5.0};
+  const auto result = stats::ks_two_sample(counts, counts);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(KsTest, ScaledDistributionsStillMatch) {
+  const std::vector<double> a{10.0, 20.0, 30.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::ks_two_sample(a, b).statistic, 0.0);
+}
+
+TEST(KsTest, DisjointMassMaximisesStatistic) {
+  const std::vector<double> a{100.0, 0.0};
+  const std::vector<double> b{0.0, 100.0};
+  const auto result = stats::ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, SurvivalFunctionAnchors) {
+  EXPECT_NEAR(stats::ks_survival(0.0), 1.0, 1e-12);
+  // Classic critical value: Q(1.36) ~ 0.049.
+  EXPECT_NEAR(stats::ks_survival(1.36), 0.049, 0.002);
+  EXPECT_LT(stats::ks_survival(2.0), 0.001);
+}
+
+TEST(KsTest, Preconditions) {
+  EXPECT_THROW(stats::ks_two_sample({1.0}, {1.0}), util::ContractViolation);
+  EXPECT_THROW(stats::ks_two_sample({1.0, 2.0}, {1.0}), util::ContractViolation);
+  EXPECT_THROW(stats::ks_two_sample({0.0, 0.0}, {1.0, 1.0}), util::ContractViolation);
+  EXPECT_THROW(stats::ks_two_sample({-1.0, 2.0}, {1.0, 1.0}),
+               util::ContractViolation);
+}
+
+TEST(KsTest, NullCalibrationRejectsAboutAlpha) {
+  stats::Rng rng(321);
+  const std::vector<double> weights{30.0, 25.0, 20.0, 15.0, 10.0};
+  int rejections = 0;
+  const int trials = 1000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a(weights.size(), 0.0);
+    std::vector<double> b(weights.size(), 0.0);
+    for (int draw = 0; draw < 150; ++draw) {
+      a[rng.weighted_index(weights)] += 1.0;
+      b[rng.weighted_index(weights)] += 1.0;
+    }
+    if (stats::ks_two_sample(a, b).p_value < 0.05) ++rejections;
+  }
+  // KS over binned categories is conservative; expect <= ~alpha rejections.
+  EXPECT_LT(rejections / static_cast<double>(trials), 0.08);
+}
+
+TEST(KsMatcher, MatchesProportionalAndRejectsDifferent) {
+  privacy::PatternHistogram profile;
+  profile.add(1, 40.0);
+  profile.add(2, 20.0);
+  profile.add(3, 10.0);
+  privacy::PatternHistogram proportional;
+  proportional.add(1, 8.0);
+  proportional.add(2, 4.0);
+  proportional.add(3, 2.0);
+  privacy::PatternHistogram inverted;
+  inverted.add(1, 2.0);
+  inverted.add(2, 4.0);
+  inverted.add(3, 44.0);
+
+  privacy::MatchParams params;
+  params.test = privacy::MatchTest::kKolmogorovSmirnov;
+  const auto good = privacy::match_histograms(proportional, profile, params);
+  ASSERT_TRUE(good.attempted);
+  EXPECT_TRUE(good.matches);
+  EXPECT_GT(good.ks.p_value, 0.05);
+  const auto bad = privacy::match_histograms(inverted, profile, params);
+  ASSERT_TRUE(bad.attempted);
+  EXPECT_FALSE(bad.matches);
+}
+
+// ------------------------------------------------ reproduction pins -----
+
+// A 24-user corpus shared by the pin tests (distinct from other fixtures
+// to keep these self-contained).
+const core::PrivacyAnalyzer& pin_analyzer() {
+  static const core::PrivacyAnalyzer analyzer = [] {
+    mobility::DatasetConfig dataset;
+    dataset.user_count = 24;
+    dataset.synthesis.days = 8;
+    return core::PrivacyAnalyzer::from_synthetic(core::experiment_analyzer_config(),
+                                                 dataset);
+  }();
+  return analyzer;
+}
+
+TEST(ReproductionPins, Figure3ShapeHolds) {
+  // Plateau at fast polling, collapse at 7,200 s.
+  std::size_t reference = 0;
+  std::size_t recovered_fast = 0;
+  std::size_t recovered_slow = 0;
+  for (std::size_t u = 0; u < pin_analyzer().user_count(); ++u) {
+    const auto fast = pin_analyzer().evaluate_exposure(u, 10);
+    const auto slow = pin_analyzer().evaluate_exposure(u, 7200);
+    reference += fast.poi_total.reference_count;
+    recovered_fast += fast.poi_total.recovered_count;
+    recovered_slow += slow.poi_total.recovered_count;
+  }
+  EXPECT_GT(static_cast<double>(recovered_fast), 0.95 * static_cast<double>(reference));
+  EXPECT_LT(static_cast<double>(recovered_slow), 0.15 * static_cast<double>(reference));
+}
+
+TEST(ReproductionPins, Figure4OrderingHolds) {
+  // Pattern 2 identifies at least as many users as pattern 1 at 1 s, and
+  // is strictly faster for more of them.
+  int p1 = 0;
+  int p2 = 0;
+  int p2_faster = 0;
+  int p1_faster = 0;
+  for (std::size_t u = 0; u < pin_analyzer().user_count(); ++u) {
+    const auto r1 =
+        pin_analyzer().earliest_identification(u, privacy::Pattern::kVisits, 1);
+    const auto r2 =
+        pin_analyzer().earliest_identification(u, privacy::Pattern::kMovements, 1);
+    p1 += r1.detected;
+    p2 += r2.detected;
+    if (r1.detected && r2.detected) {
+      if (r2.fraction < r1.fraction) ++p2_faster;
+      if (r1.fraction < r2.fraction) ++p1_faster;
+    }
+  }
+  EXPECT_GE(p2, p1);
+  EXPECT_GT(p2, static_cast<int>(pin_analyzer().user_count()) * 8 / 10);
+  EXPECT_GT(p2_faster, p1_faster);
+}
+
+TEST(ReproductionPins, MarketHeadlineNumbersExact) {
+  const auto report = market::run_market_study(
+      market::generate_catalog(market::CatalogConfig{}), 7);
+  EXPECT_EQ(report.declaring, 1137);
+  EXPECT_EQ(report.functional, 528);
+  EXPECT_EQ(report.background, 102);
+  EXPECT_EQ(report.background_precise, 68);
+}
+
+}  // namespace
+}  // namespace locpriv

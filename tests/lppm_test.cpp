@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geodesy.hpp"
+#include "lppm/defense.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::lppm {
+namespace {
+
+const geo::LatLon kAnchor{39.9042, 116.4074};
+
+std::vector<trace::TracePoint> walk(int count = 50, std::int64_t step_s = 5) {
+  std::vector<trace::TracePoint> points;
+  for (int i = 0; i < count; ++i)
+    points.push_back({geo::destination(kAnchor, 90.0, i * 10.0), i * step_s});
+  return points;
+}
+
+TEST(IdentityDefense, ReleasesVerbatim) {
+  stats::Rng rng(1);
+  const auto requested = walk();
+  const IdentityDefense defense;
+  EXPECT_EQ(defense.release(requested, rng), requested);
+  EXPECT_EQ(defense.name(), "none");
+}
+
+TEST(GridSnapDefense, SnapsEveryFixToCellCenters) {
+  stats::Rng rng(1);
+  const GridSnapDefense defense(250.0, kAnchor);
+  const auto released = defense.release(walk(), rng);
+  const geo::LocalProjection projection(kAnchor);
+  for (const auto& point : released) {
+    const geo::EastNorth plane = projection.to_plane(point.position);
+    // Cell centers sit at (n + 0.5) * 250.
+    const double frac_east = plane.east_m / 250.0 - std::floor(plane.east_m / 250.0);
+    EXPECT_NEAR(frac_east, 0.5, 1e-6);
+  }
+  EXPECT_EQ(defense.name(), "snap-250m");
+  EXPECT_THROW(GridSnapDefense(0.0, kAnchor), util::ContractViolation);
+}
+
+TEST(GridSnapDefense, PreservesTimestampsAndCount) {
+  stats::Rng rng(1);
+  const auto requested = walk();
+  const auto released = GridSnapDefense(100.0, kAnchor).release(requested, rng);
+  ASSERT_EQ(released.size(), requested.size());
+  for (std::size_t i = 0; i < released.size(); ++i)
+    EXPECT_EQ(released[i].timestamp_s, requested[i].timestamp_s);
+}
+
+TEST(GaussianPerturbationDefense, NoiseHasExpectedScale) {
+  stats::Rng rng(7);
+  const auto requested = walk(400);
+  const GaussianPerturbationDefense defense(100.0);
+  const auto released = defense.release(requested, rng);
+  double total = 0.0;
+  for (std::size_t i = 0; i < released.size(); ++i)
+    total += geo::haversine_m(requested[i].position, released[i].position);
+  // Rayleigh mean = sigma * sqrt(pi/2) ~ 125 m.
+  EXPECT_NEAR(total / 400.0, 125.0, 20.0);
+  EXPECT_THROW(GaussianPerturbationDefense(0.0), util::ContractViolation);
+}
+
+TEST(GaussianPerturbationDefense, DeterministicGivenRngSeed) {
+  const auto requested = walk();
+  const GaussianPerturbationDefense defense(50.0);
+  stats::Rng a(9);
+  stats::Rng b(9);
+  EXPECT_EQ(defense.release(requested, a), defense.release(requested, b));
+}
+
+TEST(SpatialCloakingDefense, CellGrowsUntilKAnchors) {
+  // Ten homes within ~40 m of a dense spot: a small cell reaches k=5 after
+  // at most a couple of ladder doublings (grid alignment can split the
+  // cluster at first); a lone position 5 km away needs a much larger cell.
+  const geo::LatLon dense = geo::destination(kAnchor, 45.0, 800.0);
+  std::vector<geo::LatLon> anchors;
+  for (int i = 0; i < 10; ++i)
+    anchors.push_back(geo::destination(dense, 36.0 * i, 40.0));
+  const SpatialCloakingDefense defense(250.0, 5, anchors, kAnchor);
+  EXPECT_LE(defense.cell_for(dense), 1000.0);
+  const geo::LatLon lonely = geo::destination(dense, 90.0, 5000.0);
+  EXPECT_GT(defense.cell_for(lonely), 1000.0);
+  EXPECT_EQ(defense.name(), "cloak-k5");
+}
+
+TEST(SpatialCloakingDefense, Preconditions) {
+  std::vector<geo::LatLon> anchors{kAnchor};
+  EXPECT_THROW(SpatialCloakingDefense(0.0, 5, anchors, kAnchor),
+               util::ContractViolation);
+  EXPECT_THROW(SpatialCloakingDefense(250.0, 0, anchors, kAnchor),
+               util::ContractViolation);
+  EXPECT_THROW(SpatialCloakingDefense(250.0, 5, {}, kAnchor),
+               util::ContractViolation);
+}
+
+TEST(ThrottleDefense, EnforcesMinimumSpacing) {
+  stats::Rng rng(1);
+  const auto requested = walk(100, 5);  // Every 5 s.
+  const ThrottleDefense defense(60);
+  const auto released = defense.release(requested, rng);
+  ASSERT_FALSE(released.empty());
+  EXPECT_LT(released.size(), requested.size() / 10 + 2);
+  for (std::size_t i = 1; i < released.size(); ++i)
+    EXPECT_GE(released[i].timestamp_s - released[i - 1].timestamp_s, 60);
+  EXPECT_THROW(ThrottleDefense(0), util::ContractViolation);
+}
+
+TEST(PlaceSuppressionDefense, DropsFixesNearProtectedPlaces) {
+  stats::Rng rng(1);
+  const auto requested = walk(50);  // 0..490 m east.
+  const PlaceSuppressionDefense defense({kAnchor}, 155.0);
+  const auto released = defense.release(requested, rng);
+  // Fixes within 155 m of the anchor (indices 0..15, at 0..150 m) are gone.
+  ASSERT_FALSE(released.empty());
+  for (const auto& point : released)
+    EXPECT_GT(geo::equirectangular_m(point.position, kAnchor), 155.0);
+  EXPECT_EQ(released.size(), 34u);
+  EXPECT_THROW(PlaceSuppressionDefense({kAnchor}, 0.0), util::ContractViolation);
+}
+
+TEST(StandardSuite, ContainsExpectedDefenses) {
+  const auto suite = standard_suite(kAnchor, {kAnchor});
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite.front()->name(), "none");
+  // All defenses runnable on an empty stream.
+  stats::Rng rng(1);
+  for (const auto& defense : suite)
+    EXPECT_TRUE(defense->release({}, rng).empty()) << defense->name();
+  EXPECT_THROW(standard_suite(kAnchor, {}), util::ContractViolation);
+}
+
+class DefenseTimestampInvariant : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DefenseTimestampInvariant, NeverReordersTime) {
+  // Property: every defense in the suite preserves temporal order and only
+  // ever releases timestamps that were requested.
+  const auto suite = standard_suite(kAnchor, {kAnchor});
+  const auto& defense = suite[GetParam()];
+  stats::Rng rng(5);
+  const auto requested = walk(200, 3);
+  const auto released = defense->release(requested, rng);
+  for (std::size_t i = 1; i < released.size(); ++i)
+    EXPECT_LE(released[i - 1].timestamp_s, released[i].timestamp_s) << defense->name();
+  for (const auto& point : released) {
+    bool found = false;
+    for (const auto& original : requested)
+      if (original.timestamp_s == point.timestamp_s) {
+        found = true;
+        break;
+      }
+    EXPECT_TRUE(found) << defense->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, DefenseTimestampInvariant,
+                         ::testing::Range<std::size_t>(0, 8));
+
+}  // namespace
+}  // namespace locpriv::lppm

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace locpriv::util {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<int> hits(kCount, 0);
+  // Force the threaded path even on single-core machines.
+  parallel_for(kCount, [&](std::size_t i) { ++hits[i]; }, /*max_threads=*/4);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelFor, ResultsMatchSequential) {
+  constexpr std::size_t kCount = 512;
+  std::vector<double> parallel_out(kCount);
+  std::vector<double> sequential_out(kCount);
+  const auto work = [](std::size_t i) {
+    double x = static_cast<double>(i) + 1.0;
+    for (int iter = 0; iter < 50; ++iter) x = x * 1.0001 + 0.5;
+    return x;
+  };
+  parallel_for(kCount, [&](std::size_t i) { parallel_out[i] = work(i); }, 8);
+  for (std::size_t i = 0; i < kCount; ++i) sequential_out[i] = work(i);
+  EXPECT_EQ(parallel_out, sequential_out);  // Bit-identical.
+}
+
+TEST(ParallelFor, ZeroAndSmallCounts) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  parallel_for(2, [&](std::size_t) { ++calls; }, 4);  // Sequential fallback.
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(
+        100,
+        [&](std::size_t i) {
+          if (i == 42) throw std::runtime_error("boom at 42");
+          completed.fetch_add(1, std::memory_order_relaxed);
+        },
+        4);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom at 42");
+  }
+  // Other indices still ran (workers are joined before rethrow).
+  EXPECT_GE(completed.load(), 50);
+}
+
+TEST(ParallelFor, MaxThreadsOneIsPlainLoop) {
+  std::vector<std::size_t> order;
+  parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // Strictly in order with one thread.
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::vector<int> hits(5, 0);
+  parallel_for(5, [&](std::size_t i) { ++hits[i]; }, 64);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace locpriv::util

@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report_command.hpp"
+
+namespace locpriv::tools {
+namespace {
+
+TEST(ReproductionReport, ContainsBothSectionsAndExactMarketRows) {
+  ReportOptions options;
+  options.user_count = 8;
+  options.days = 4;
+  std::ostringstream out;
+  write_reproduction_report(out, options);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("# locpriv reproduction report"), std::string::npos);
+  EXPECT_NE(report.find("## Section III - market measurement"), std::string::npos);
+  EXPECT_NE(report.find("## Section IV - privacy measurement"), std::string::npos);
+  // The calibrated market rows are exact regardless of corpus size.
+  EXPECT_NE(report.find("| apps declaring a location permission | 1,137 | 1137 |"),
+            std::string::npos);
+  EXPECT_NE(report.find("| apps accessing location in background | 102 | 102 |"),
+            std::string::npos);
+  // Section IV rows render percentages.
+  EXPECT_NE(report.find("PoIs recoverable at 10 s polling"), std::string::npos);
+}
+
+TEST(ReproductionReport, CorpusLineReflectsOptions) {
+  ReportOptions options;
+  options.user_count = 5;
+  options.days = 3;
+  std::ostringstream out;
+  write_reproduction_report(out, options);
+  EXPECT_NE(out.str().find("Corpus: 5 users x 3 days"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locpriv::tools

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::stats {
+namespace {
+
+TEST(RegularizedGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(1.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x} exactly.
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(RegularizedGamma, ErlangSpecialCase) {
+  // P(2, x) = 1 - e^{-x}(1 + x).
+  for (const double x : {0.2, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(regularized_gamma_p(2.0, x), 1.0 - std::exp(-x) * (1.0 + x), 1e-12)
+        << "x=" << x;
+  }
+}
+
+class GammaComplementTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaComplementTest, PPlusQIsOne) {
+  const auto [a, x] = GetParam();
+  EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GammaComplementTest,
+    ::testing::Values(std::pair{0.5, 0.1}, std::pair{0.5, 2.0}, std::pair{1.0, 1.0},
+                      std::pair{3.0, 0.5}, std::pair{3.0, 10.0}, std::pair{10.0, 9.0},
+                      std::pair{50.0, 60.0}, std::pair{100.0, 80.0},
+                      std::pair{0.25, 5.0}));
+
+TEST(RegularizedGamma, MonotoneInX) {
+  double previous = -1.0;
+  for (double x = 0.0; x <= 30.0; x += 0.25) {
+    const double p = regularized_gamma_p(4.0, x);
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(RegularizedGamma, MedianNearShapeForLargeA) {
+  // For large a, the gamma(a,1) median is close to a - 1/3.
+  for (const double a : {20.0, 50.0, 100.0}) {
+    EXPECT_NEAR(regularized_gamma_p(a, a - 1.0 / 3.0), 0.5, 0.01) << "a=" << a;
+  }
+}
+
+TEST(RegularizedGamma, Preconditions) {
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), util::ContractViolation);
+  EXPECT_THROW(regularized_gamma_p(1.0, -0.1), util::ContractViolation);
+  EXPECT_THROW(regularized_gamma_q(-1.0, 1.0), util::ContractViolation);
+}
+
+TEST(LogGamma, KnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(0.5), std::log(std::sqrt(std::acos(-1.0))), 1e-12);
+}
+
+}  // namespace
+}  // namespace locpriv::stats

@@ -1,0 +1,330 @@
+// locpriv — command-line front end for the library.
+//
+//   locpriv gen-dataset   --out DIR [--users N] [--days D] [--seed S]
+//   locpriv dataset-stats --root DIR
+//   locpriv market-study  [--csv FILE] [--summary-csv FILE] [--limits S] [--seed S]
+//   locpriv extract-pois  --root DIR --user INDEX [--interval S] [--radius M]
+//                         [--visit MIN]
+//   locpriv audit         --root DIR --user INDEX [--interval S]
+//   locpriv identify      --root DIR --user INDEX [--interval S] [--pattern 1|2]
+//
+// Dataset-consuming commands read a Geolife-layout directory (as produced
+// by gen-dataset or a real Geolife download).
+#include <fstream>
+#include <iostream>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "market/catalog.hpp"
+#include "market/report_io.hpp"
+#include "market/study.hpp"
+#include "poi/geojson.hpp"
+#include "report_command.hpp"
+#include "mobility/synthesis.hpp"
+#include "poi/clustering.hpp"
+#include "trace/geolife.hpp"
+#include "trace/sampling.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace locpriv;
+
+int usage() {
+  std::cerr <<
+      "usage: locpriv <command> [options]\n"
+      "  gen-dataset   --out DIR [--users N] [--days D] [--seed S]\n"
+      "  dataset-stats --root DIR\n"
+      "  market-study  [--csv FILE] [--summary-csv FILE] [--limits S] [--seed S]\n"
+      "  extract-pois  --root DIR --user INDEX [--interval S] [--radius M] [--visit MIN]\n"
+      "  audit         --root DIR --user INDEX [--interval S]\n"
+      "  identify      --root DIR --user INDEX [--interval S] [--pattern 1|2]\n"
+      "  export-geojson --root DIR --user INDEX --out FILE [--interval S]\n"
+      "  report        [--out FILE] [--users N] [--days D]\n";
+  return 2;
+}
+
+std::vector<trace::UserTrace> load_dataset(const std::string& root) {
+  auto users = trace::read_geolife_dataset(root);
+  if (users.empty()) throw std::runtime_error("no users found under " + root);
+  return users;
+}
+
+core::PrivacyAnalyzer make_analyzer(const std::string& root) {
+  return core::PrivacyAnalyzer(core::experiment_analyzer_config(), load_dataset(root));
+}
+
+int cmd_gen_dataset(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--out", "");
+  args.declare("--users", "12");
+  args.declare("--days", "8");
+  args.declare("--seed", std::to_string(core::kDatasetSeed));
+  args.parse(argc, argv, 2);
+  if (args.get("--out").empty()) return usage();
+
+  mobility::DatasetConfig config;
+  config.user_count = static_cast<int>(args.get_int("--users"));
+  config.synthesis.days = static_cast<int>(args.get_int("--days"));
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed"));
+  const auto dataset = mobility::generate_dataset(config);
+  trace::write_geolife_dataset(args.get("--out"), dataset.users);
+  std::cout << "wrote " << dataset.users.size() << " users ("
+            << trace::compute_dataset_stats(dataset.users).point_count
+            << " fixes) to " << args.get("--out") << '\n';
+  return 0;
+}
+
+int cmd_dataset_stats(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--root", "");
+  args.parse(argc, argv, 2);
+  if (args.get("--root").empty()) return usage();
+
+  const auto users = load_dataset(args.get("--root"));
+  const auto stats = trace::compute_dataset_stats(users);
+  util::ConsoleTable table({"metric", "value"});
+  table.add_row({"users", std::to_string(stats.user_count)});
+  table.add_row({"trajectories", std::to_string(stats.trajectory_count)});
+  table.add_row({"fixes", std::to_string(stats.point_count)});
+  table.add_row({"distance (km)", util::format_fixed(stats.total_length_km, 1)});
+  table.add_row({"recorded hours", util::format_fixed(stats.total_duration_hours, 1)});
+  table.add_row({"1-5 s interval share",
+                 util::format_percent(stats.high_frequency_fraction, 1)});
+  table.add_row({"median interval (s)", util::format_fixed(stats.median_interval_s, 1)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_market_study(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--csv", "");
+  args.declare("--summary-csv", "");
+  args.declare("--limits", "0");
+  args.declare("--seed", std::to_string(core::kCatalogSeed));
+  args.parse(argc, argv, 2);
+
+  market::CatalogConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed"));
+  const auto catalog = market::generate_catalog(config);
+  const auto report =
+      market::run_market_study(catalog, 7, args.get_int("--limits"));
+
+  util::ConsoleTable table({"statistic", "value"});
+  table.add_row({"declaring", std::to_string(report.declaring)});
+  table.add_row({"functional", std::to_string(report.functional)});
+  table.add_row({"background", std::to_string(report.background)});
+  table.add_row({"background auto-start", std::to_string(report.background_auto)});
+  table.add_row({"background precise", std::to_string(report.background_precise)});
+  table.print(std::cout);
+
+  if (!args.get("--csv").empty()) {
+    std::ofstream out(args.get("--csv"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("--csv"));
+    market::write_observations_csv(out, report);
+    std::cout << "observations -> " << args.get("--csv") << '\n';
+  }
+  if (!args.get("--summary-csv").empty()) {
+    std::ofstream out(args.get("--summary-csv"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("--summary-csv"));
+    market::write_summary_csv(out, report);
+    std::cout << "summary -> " << args.get("--summary-csv") << '\n';
+  }
+  return 0;
+}
+
+int cmd_extract_pois(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--root", "");
+  args.declare("--user", "0");
+  args.declare("--interval", "1");
+  args.declare("--radius", "50");
+  args.declare("--visit", "10");
+  args.parse(argc, argv, 2);
+  if (args.get("--root").empty()) return usage();
+
+  const auto users = load_dataset(args.get("--root"));
+  const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
+  if (user_index >= users.size()) throw std::runtime_error("user index out of range");
+
+  poi::ExtractionParams params;
+  params.radius_m = args.get_double("--radius");
+  params.min_visit_s = args.get_int("--visit") * 60;
+
+  auto points = users[user_index].flattened();
+  if (args.get_int("--interval") > 1)
+    points = trace::decimate(points, args.get_int("--interval"));
+  const auto stays = poi::extract_stay_points(points, params);
+  const auto pois = poi::cluster_stay_points(stays, params.radius_m);
+
+  std::cout << points.size() << " fixes -> " << stays.size() << " stay points -> "
+            << pois.size() << " PoIs\n\n";
+  util::ConsoleTable table({"poi", "lat", "lon", "visits", "total dwell (min)"});
+  for (const auto& poi : pois) {
+    std::int64_t dwell = 0;
+    for (const auto& visit : poi.visits) dwell += visit.duration_s();
+    table.add_row({std::to_string(poi.id),
+                   util::format_fixed(poi.centroid.lat_deg, 5),
+                   util::format_fixed(poi.centroid.lon_deg, 5),
+                   std::to_string(poi.visit_count()),
+                   util::format_fixed(static_cast<double>(dwell) / 60.0, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_audit(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--root", "");
+  args.declare("--user", "0");
+  args.declare("--interval", "60");
+  args.declare_bool("--json");
+  args.parse(argc, argv, 2);
+  if (args.get("--root").empty()) return usage();
+
+  const core::PrivacyAnalyzer analyzer = make_analyzer(args.get("--root"));
+  const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
+  if (user_index >= analyzer.user_count())
+    throw std::runtime_error("user index out of range");
+  const auto report =
+      analyzer.evaluate_exposure(user_index, args.get_int("--interval"));
+
+  if (args.get_bool("--json")) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.member("user", analyzer.reference(user_index).user_id);
+    json.member("interval_s", report.interval_s);
+    json.member("collected_fixes", static_cast<std::uint64_t>(report.collected_fixes));
+    json.member("extracted_pois", static_cast<std::uint64_t>(report.extracted_pois));
+    json.member("poi_total", report.poi_total.fraction());
+    json.member("poi_sensitive", report.poi_sensitive.fraction());
+    json.member("hisbin_visits", report.hisbin_visits);
+    json.member("hisbin_movements", report.hisbin_movements);
+    json.member("breach", report.breach_detected());
+    json.member("deg_anonymity_movements", report.anonymity_movements);
+    json.end_object();
+    std::cout << json.str() << '\n';
+    return 0;
+  }
+
+  util::ConsoleTable table({"metric", "value"});
+  table.add_row({"collected fixes", std::to_string(report.collected_fixes)});
+  table.add_row({"extracted PoIs", std::to_string(report.extracted_pois)});
+  table.add_row({"PoI_total", util::format_percent(report.poi_total.fraction(), 1)});
+  table.add_row(
+      {"PoI_sensitive", util::format_percent(report.poi_sensitive.fraction(), 1)});
+  table.add_row({"His_bin pattern 1", report.hisbin_visits ? "1" : "0"});
+  table.add_row({"His_bin pattern 2", report.hisbin_movements ? "1" : "0"});
+  table.add_row({"breach alert", report.breach_detected() ? "YES" : "no"});
+  table.add_row(
+      {"Deg_anonymity (p2)", util::format_fixed(report.anonymity_movements, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_identify(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--root", "");
+  args.declare("--user", "0");
+  args.declare("--interval", "1");
+  args.declare("--pattern", "2");
+  args.parse(argc, argv, 2);
+  if (args.get("--root").empty()) return usage();
+
+  const core::PrivacyAnalyzer analyzer = make_analyzer(args.get("--root"));
+  const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
+  if (user_index >= analyzer.user_count())
+    throw std::runtime_error("user index out of range");
+  const privacy::Pattern pattern = args.get_int("--pattern") == 1
+                                       ? privacy::Pattern::kVisits
+                                       : privacy::Pattern::kMovements;
+  const auto outcome = analyzer.earliest_identification(user_index, pattern,
+                                                        args.get_int("--interval"));
+  if (outcome.detected) {
+    std::cout << "user " << user_index << " uniquely identified after "
+              << util::format_percent(outcome.fraction, 0) << " of the trace (pattern "
+              << args.get("--pattern") << ", interval " << args.get("--interval")
+              << " s)\n";
+  } else {
+    std::cout << "user " << user_index << " was not uniquely identified (pattern "
+              << args.get("--pattern") << ", interval " << args.get("--interval")
+              << " s)\n";
+  }
+  return 0;
+}
+
+int cmd_export_geojson(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--root", "");
+  args.declare("--user", "0");
+  args.declare("--out", "");
+  args.declare("--interval", "1");
+  args.parse(argc, argv, 2);
+  if (args.get("--root").empty() || args.get("--out").empty()) return usage();
+
+  const auto users = load_dataset(args.get("--root"));
+  const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
+  if (user_index >= users.size()) throw std::runtime_error("user index out of range");
+
+  auto points = users[user_index].flattened();
+  if (args.get_int("--interval") > 1)
+    points = trace::decimate(points, args.get_int("--interval"));
+  const poi::ExtractionParams params;
+  const auto stays = poi::extract_stay_points(points, params);
+  const auto pois = poi::cluster_stay_points(stays, params.radius_m);
+
+  std::ofstream out(args.get("--out"));
+  if (!out) throw std::runtime_error("cannot write " + args.get("--out"));
+  out << poi::to_geojson(users[user_index], pois);
+  std::cout << "wrote " << users[user_index].trajectories.size()
+            << " trajectories and " << pois.size() << " PoIs to "
+            << args.get("--out") << '\n';
+  return 0;
+}
+
+int cmd_report(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--out", "");
+  args.declare("--users", "40");
+  args.declare("--days", "8");
+  args.parse(argc, argv, 2);
+
+  tools::ReportOptions options;
+  options.user_count = static_cast<int>(args.get_int("--users"));
+  options.days = static_cast<int>(args.get_int("--days"));
+  if (args.get("--out").empty()) {
+    tools::write_reproduction_report(std::cout, options);
+    return 0;
+  }
+  std::ofstream out(args.get("--out"));
+  if (!out) throw std::runtime_error("cannot write " + args.get("--out"));
+  tools::write_reproduction_report(out, options);
+  std::cout << "report -> " << args.get("--out") << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "gen-dataset") return cmd_gen_dataset(argc, argv);
+    if (command == "dataset-stats") return cmd_dataset_stats(argc, argv);
+    if (command == "market-study") return cmd_market_study(argc, argv);
+    if (command == "extract-pois") return cmd_extract_pois(argc, argv);
+    if (command == "audit") return cmd_audit(argc, argv);
+    if (command == "identify") return cmd_identify(argc, argv);
+    if (command == "export-geojson") return cmd_export_geojson(argc, argv);
+    if (command == "report") return cmd_report(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  return usage();
+}

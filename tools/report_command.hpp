@@ -1,0 +1,22 @@
+// The `locpriv report` subcommand: runs a compact end-to-end reproduction
+// (market campaign at full scale — it is cheap — and the privacy pipeline
+// at a caller-chosen corpus size) and writes a Markdown report of paper
+// claims vs measured values.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace locpriv::tools {
+
+struct ReportOptions {
+  int user_count = 40;
+  int days = 8;
+  std::uint64_t dataset_seed = 20170605;
+  std::uint64_t catalog_seed = 20170301;
+};
+
+/// Runs the reproduction and writes the Markdown report to `out`.
+void write_reproduction_report(std::ostream& out, const ReportOptions& options);
+
+}  // namespace locpriv::tools
