@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_android_limits.dir/bench_android_limits.cpp.o"
+  "CMakeFiles/bench_android_limits.dir/bench_android_limits.cpp.o.d"
+  "bench_android_limits"
+  "bench_android_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_android_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defenses.dir/bench_defenses.cpp.o"
+  "CMakeFiles/bench_defenses.dir/bench_defenses.cpp.o.d"
+  "bench_defenses"
+  "bench_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_entropy.dir/bench_fig5_entropy.cpp.o"
+  "CMakeFiles/bench_fig5_entropy.dir/bench_fig5_entropy.cpp.o.d"
+  "bench_fig5_entropy"
+  "bench_fig5_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uniqueness.dir/bench_uniqueness.cpp.o"
+  "CMakeFiles/bench_uniqueness.dir/bench_uniqueness.cpp.o.d"
+  "bench_uniqueness"
+  "bench_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

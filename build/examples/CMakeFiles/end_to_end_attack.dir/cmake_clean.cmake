@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_attack.dir/end_to_end_attack.cpp.o"
+  "CMakeFiles/end_to_end_attack.dir/end_to_end_attack.cpp.o.d"
+  "end_to_end_attack"
+  "end_to_end_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_guardian.dir/lp_guardian.cpp.o"
+  "CMakeFiles/lp_guardian.dir/lp_guardian.cpp.o.d"
+  "lp_guardian"
+  "lp_guardian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_guardian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_scan.dir/market_scan.cpp.o"
+  "CMakeFiles/market_scan.dir/market_scan.cpp.o.d"
+  "market_scan"
+  "market_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/device.cpp" "src/android/CMakeFiles/locpriv_android.dir/device.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/device.cpp.o.d"
+  "/root/repo/src/android/dumpsys.cpp" "src/android/CMakeFiles/locpriv_android.dir/dumpsys.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/dumpsys.cpp.o.d"
+  "/root/repo/src/android/fused.cpp" "src/android/CMakeFiles/locpriv_android.dir/fused.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/fused.cpp.o.d"
+  "/root/repo/src/android/indicator.cpp" "src/android/CMakeFiles/locpriv_android.dir/indicator.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/indicator.cpp.o.d"
+  "/root/repo/src/android/location.cpp" "src/android/CMakeFiles/locpriv_android.dir/location.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/location.cpp.o.d"
+  "/root/repo/src/android/location_manager.cpp" "src/android/CMakeFiles/locpriv_android.dir/location_manager.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/location_manager.cpp.o.d"
+  "/root/repo/src/android/permissions.cpp" "src/android/CMakeFiles/locpriv_android.dir/permissions.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/permissions.cpp.o.d"
+  "/root/repo/src/android/replay.cpp" "src/android/CMakeFiles/locpriv_android.dir/replay.cpp.o" "gcc" "src/android/CMakeFiles/locpriv_android.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/locpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_android.dir/device.cpp.o"
+  "CMakeFiles/locpriv_android.dir/device.cpp.o.d"
+  "CMakeFiles/locpriv_android.dir/dumpsys.cpp.o"
+  "CMakeFiles/locpriv_android.dir/dumpsys.cpp.o.d"
+  "CMakeFiles/locpriv_android.dir/fused.cpp.o"
+  "CMakeFiles/locpriv_android.dir/fused.cpp.o.d"
+  "CMakeFiles/locpriv_android.dir/indicator.cpp.o"
+  "CMakeFiles/locpriv_android.dir/indicator.cpp.o.d"
+  "CMakeFiles/locpriv_android.dir/location.cpp.o"
+  "CMakeFiles/locpriv_android.dir/location.cpp.o.d"
+  "CMakeFiles/locpriv_android.dir/location_manager.cpp.o"
+  "CMakeFiles/locpriv_android.dir/location_manager.cpp.o.d"
+  "CMakeFiles/locpriv_android.dir/permissions.cpp.o"
+  "CMakeFiles/locpriv_android.dir/permissions.cpp.o.d"
+  "CMakeFiles/locpriv_android.dir/replay.cpp.o"
+  "CMakeFiles/locpriv_android.dir/replay.cpp.o.d"
+  "liblocpriv_android.a"
+  "liblocpriv_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_core.dir/analyzer.cpp.o"
+  "CMakeFiles/locpriv_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/defense_eval.cpp.o"
+  "CMakeFiles/locpriv_core.dir/defense_eval.cpp.o.d"
+  "CMakeFiles/locpriv_core.dir/experiment.cpp.o"
+  "CMakeFiles/locpriv_core.dir/experiment.cpp.o.d"
+  "liblocpriv_core.a"
+  "liblocpriv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_geo.dir/geodesy.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/geodesy.cpp.o.d"
+  "CMakeFiles/locpriv_geo.dir/projection.cpp.o"
+  "CMakeFiles/locpriv_geo.dir/projection.cpp.o.d"
+  "liblocpriv_geo.a"
+  "liblocpriv_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

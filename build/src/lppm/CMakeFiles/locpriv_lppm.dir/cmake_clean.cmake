@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_lppm.dir/defense.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/defense.cpp.o.d"
+  "CMakeFiles/locpriv_lppm.dir/policy.cpp.o"
+  "CMakeFiles/locpriv_lppm.dir/policy.cpp.o.d"
+  "liblocpriv_lppm.a"
+  "liblocpriv_lppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_lppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/analysis.cpp" "src/market/CMakeFiles/locpriv_market.dir/analysis.cpp.o" "gcc" "src/market/CMakeFiles/locpriv_market.dir/analysis.cpp.o.d"
+  "/root/repo/src/market/catalog.cpp" "src/market/CMakeFiles/locpriv_market.dir/catalog.cpp.o" "gcc" "src/market/CMakeFiles/locpriv_market.dir/catalog.cpp.o.d"
+  "/root/repo/src/market/categories.cpp" "src/market/CMakeFiles/locpriv_market.dir/categories.cpp.o" "gcc" "src/market/CMakeFiles/locpriv_market.dir/categories.cpp.o.d"
+  "/root/repo/src/market/report_io.cpp" "src/market/CMakeFiles/locpriv_market.dir/report_io.cpp.o" "gcc" "src/market/CMakeFiles/locpriv_market.dir/report_io.cpp.o.d"
+  "/root/repo/src/market/study.cpp" "src/market/CMakeFiles/locpriv_market.dir/study.cpp.o" "gcc" "src/market/CMakeFiles/locpriv_market.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/locpriv_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/locpriv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

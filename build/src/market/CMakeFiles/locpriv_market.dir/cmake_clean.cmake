@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_market.dir/analysis.cpp.o"
+  "CMakeFiles/locpriv_market.dir/analysis.cpp.o.d"
+  "CMakeFiles/locpriv_market.dir/catalog.cpp.o"
+  "CMakeFiles/locpriv_market.dir/catalog.cpp.o.d"
+  "CMakeFiles/locpriv_market.dir/categories.cpp.o"
+  "CMakeFiles/locpriv_market.dir/categories.cpp.o.d"
+  "CMakeFiles/locpriv_market.dir/report_io.cpp.o"
+  "CMakeFiles/locpriv_market.dir/report_io.cpp.o.d"
+  "CMakeFiles/locpriv_market.dir/study.cpp.o"
+  "CMakeFiles/locpriv_market.dir/study.cpp.o.d"
+  "liblocpriv_market.a"
+  "liblocpriv_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

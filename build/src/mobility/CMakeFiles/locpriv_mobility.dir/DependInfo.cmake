@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/city.cpp" "src/mobility/CMakeFiles/locpriv_mobility.dir/city.cpp.o" "gcc" "src/mobility/CMakeFiles/locpriv_mobility.dir/city.cpp.o.d"
+  "/root/repo/src/mobility/profile.cpp" "src/mobility/CMakeFiles/locpriv_mobility.dir/profile.cpp.o" "gcc" "src/mobility/CMakeFiles/locpriv_mobility.dir/profile.cpp.o.d"
+  "/root/repo/src/mobility/synthesis.cpp" "src/mobility/CMakeFiles/locpriv_mobility.dir/synthesis.cpp.o" "gcc" "src/mobility/CMakeFiles/locpriv_mobility.dir/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/locpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

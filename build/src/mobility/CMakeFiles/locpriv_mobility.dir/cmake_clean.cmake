@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_mobility.dir/city.cpp.o"
+  "CMakeFiles/locpriv_mobility.dir/city.cpp.o.d"
+  "CMakeFiles/locpriv_mobility.dir/profile.cpp.o"
+  "CMakeFiles/locpriv_mobility.dir/profile.cpp.o.d"
+  "CMakeFiles/locpriv_mobility.dir/synthesis.cpp.o"
+  "CMakeFiles/locpriv_mobility.dir/synthesis.cpp.o.d"
+  "liblocpriv_mobility.a"
+  "liblocpriv_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

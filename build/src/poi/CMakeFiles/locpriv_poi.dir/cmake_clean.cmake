@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_poi.dir/clustering.cpp.o"
+  "CMakeFiles/locpriv_poi.dir/clustering.cpp.o.d"
+  "CMakeFiles/locpriv_poi.dir/geojson.cpp.o"
+  "CMakeFiles/locpriv_poi.dir/geojson.cpp.o.d"
+  "CMakeFiles/locpriv_poi.dir/staypoint.cpp.o"
+  "CMakeFiles/locpriv_poi.dir/staypoint.cpp.o.d"
+  "liblocpriv_poi.a"
+  "liblocpriv_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

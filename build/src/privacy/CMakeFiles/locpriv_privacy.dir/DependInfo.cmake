@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/adversary.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/adversary.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/adversary.cpp.o.d"
+  "/root/repo/src/privacy/detection.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/detection.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/detection.cpp.o.d"
+  "/root/repo/src/privacy/inference.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/inference.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/inference.cpp.o.d"
+  "/root/repo/src/privacy/matching.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/matching.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/matching.cpp.o.d"
+  "/root/repo/src/privacy/metrics.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/metrics.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/metrics.cpp.o.d"
+  "/root/repo/src/privacy/pattern_histogram.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/pattern_histogram.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/pattern_histogram.cpp.o.d"
+  "/root/repo/src/privacy/prediction.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/prediction.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/prediction.cpp.o.d"
+  "/root/repo/src/privacy/reconstruction.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/reconstruction.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/reconstruction.cpp.o.d"
+  "/root/repo/src/privacy/region.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/region.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/region.cpp.o.d"
+  "/root/repo/src/privacy/topn.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/topn.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/topn.cpp.o.d"
+  "/root/repo/src/privacy/uniqueness.cpp" "src/privacy/CMakeFiles/locpriv_privacy.dir/uniqueness.cpp.o" "gcc" "src/privacy/CMakeFiles/locpriv_privacy.dir/uniqueness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poi/CMakeFiles/locpriv_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/locpriv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

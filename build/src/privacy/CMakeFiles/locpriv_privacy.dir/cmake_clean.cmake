@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_privacy.dir/adversary.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/adversary.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/detection.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/detection.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/inference.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/inference.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/matching.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/matching.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/metrics.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/metrics.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/pattern_histogram.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/pattern_histogram.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/prediction.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/prediction.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/reconstruction.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/reconstruction.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/region.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/region.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/topn.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/topn.cpp.o.d"
+  "CMakeFiles/locpriv_privacy.dir/uniqueness.cpp.o"
+  "CMakeFiles/locpriv_privacy.dir/uniqueness.cpp.o.d"
+  "liblocpriv_privacy.a"
+  "liblocpriv_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/chi_square.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/chi_square.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/entropy.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/entropy.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/entropy.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/locpriv_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/locpriv_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/locpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_stats.dir/chi_square.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/chi_square.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/entropy.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/entropy.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/histogram.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/rng.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/locpriv_stats.dir/special.cpp.o"
+  "CMakeFiles/locpriv_stats.dir/special.cpp.o.d"
+  "liblocpriv_stats.a"
+  "liblocpriv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

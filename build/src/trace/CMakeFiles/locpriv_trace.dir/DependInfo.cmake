@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/filter.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/filter.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/filter.cpp.o.d"
+  "/root/repo/src/trace/geolife.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/geolife.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/geolife.cpp.o.d"
+  "/root/repo/src/trace/sampling.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/sampling.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/sampling.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/trajectory.cpp" "src/trace/CMakeFiles/locpriv_trace.dir/trajectory.cpp.o" "gcc" "src/trace/CMakeFiles/locpriv_trace.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/locpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_trace.dir/filter.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/filter.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/geolife.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/geolife.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/sampling.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/sampling.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/locpriv_trace.dir/trajectory.cpp.o"
+  "CMakeFiles/locpriv_trace.dir/trajectory.cpp.o.d"
+  "liblocpriv_trace.a"
+  "liblocpriv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

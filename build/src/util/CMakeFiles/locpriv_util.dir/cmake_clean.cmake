@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv_util.dir/args.cpp.o"
+  "CMakeFiles/locpriv_util.dir/args.cpp.o.d"
+  "CMakeFiles/locpriv_util.dir/csv.cpp.o"
+  "CMakeFiles/locpriv_util.dir/csv.cpp.o.d"
+  "CMakeFiles/locpriv_util.dir/json.cpp.o"
+  "CMakeFiles/locpriv_util.dir/json.cpp.o.d"
+  "CMakeFiles/locpriv_util.dir/logging.cpp.o"
+  "CMakeFiles/locpriv_util.dir/logging.cpp.o.d"
+  "CMakeFiles/locpriv_util.dir/parallel.cpp.o"
+  "CMakeFiles/locpriv_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/locpriv_util.dir/strings.cpp.o"
+  "CMakeFiles/locpriv_util.dir/strings.cpp.o.d"
+  "CMakeFiles/locpriv_util.dir/table.cpp.o"
+  "CMakeFiles/locpriv_util.dir/table.cpp.o.d"
+  "liblocpriv_util.a"
+  "liblocpriv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

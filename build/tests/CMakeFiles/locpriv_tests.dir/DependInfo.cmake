@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/report_command.cpp" "tests/CMakeFiles/locpriv_tests.dir/__/tools/report_command.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/__/tools/report_command.cpp.o.d"
+  "/root/repo/tests/android_limits_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/android_limits_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/android_limits_test.cpp.o.d"
+  "/root/repo/tests/android_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/android_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/android_test.cpp.o.d"
+  "/root/repo/tests/args_io_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/args_io_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/args_io_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/filter_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/filter_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/filter_test.cpp.o.d"
+  "/root/repo/tests/geo_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/geo_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/geo_test.cpp.o.d"
+  "/root/repo/tests/golden_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/golden_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/golden_test.cpp.o.d"
+  "/root/repo/tests/inference_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/inference_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/inference_test.cpp.o.d"
+  "/root/repo/tests/json_indicator_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/json_indicator_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/json_indicator_test.cpp.o.d"
+  "/root/repo/tests/ks_regression_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/ks_regression_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/ks_regression_test.cpp.o.d"
+  "/root/repo/tests/lppm_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/lppm_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/lppm_test.cpp.o.d"
+  "/root/repo/tests/market_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/market_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/market_test.cpp.o.d"
+  "/root/repo/tests/mobility_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/mobility_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/mobility_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/poi_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/poi_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/poi_test.cpp.o.d"
+  "/root/repo/tests/policy_uniqueness_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/policy_uniqueness_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/policy_uniqueness_test.cpp.o.d"
+  "/root/repo/tests/prediction_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/prediction_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/prediction_test.cpp.o.d"
+  "/root/repo/tests/privacy_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/privacy_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/privacy_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/replay_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/replay_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/replay_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/stats_chi_square_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/stats_chi_square_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/stats_chi_square_test.cpp.o.d"
+  "/root/repo/tests/stats_misc_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/stats_misc_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/stats_misc_test.cpp.o.d"
+  "/root/repo/tests/stats_rng_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/stats_rng_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/stats_rng_test.cpp.o.d"
+  "/root/repo/tests/stats_special_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/stats_special_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/stats_special_test.cpp.o.d"
+  "/root/repo/tests/topn_geojson_fused_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/topn_geojson_fused_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/topn_geojson_fused_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/locpriv_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/locpriv_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/locpriv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/locpriv_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/poi/CMakeFiles/locpriv_poi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/locpriv_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/locpriv_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/lppm/CMakeFiles/locpriv_lppm.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/locpriv_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/locpriv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/locpriv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/locpriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/locpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

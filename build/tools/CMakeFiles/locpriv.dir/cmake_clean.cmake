@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locpriv.dir/locpriv_cli.cpp.o"
+  "CMakeFiles/locpriv.dir/locpriv_cli.cpp.o.d"
+  "CMakeFiles/locpriv.dir/report_command.cpp.o"
+  "CMakeFiles/locpriv.dir/report_command.cpp.o.d"
+  "locpriv"
+  "locpriv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locpriv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
