@@ -1,0 +1,217 @@
+// Fault-degradation sweep: how the paper's leakage metrics (PoI_total,
+// PoI_sensitive, His_bin, Deg_anonymity) hold up when the location substrate
+// misbehaves. For every (fault intensity, access interval) pair a spy app is
+// driven along each user's trace through the real framework path with a
+// seeded sim::FaultInjector between scheduling and delivery — GPS outages,
+// cold-start TTFF, position noise/drift, delivery loss/delay, fused
+// failover. Intensity 0 is the perfect substrate and doubles as the
+// regression anchor: its delivery path is byte-identical to an
+// uninstrumented replay.
+//
+// Output: one row per (intensity, interval) pair, averaged over users, as a
+// console table, a CSV block on stdout, and (with LOCPRIV_CSV_DIR set)
+// fault_degradation.csv / fault_degradation.json files. Everything derives
+// from kDatasetSeed, so two runs produce identical bytes.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "android/fused.hpp"
+#include "android/replay.hpp"
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "sim/faults/injector.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace locpriv;
+
+constexpr double kIntensities[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+constexpr std::int64_t kIntervals[] = {1, 10, 60, 600, 3600};
+
+android::AndroidManifest spy_manifest() {
+  android::AndroidManifest manifest;
+  manifest.package_name = "com.spy";
+  manifest.uses_permissions = {android::Permission::kAccessFineLocation};
+  return manifest;
+}
+
+android::AppBehavior spy_behavior(std::int64_t interval_s) {
+  android::AppBehavior behavior;
+  behavior.uses_location = true;
+  behavior.auto_start_on_launch = true;
+  behavior.continues_in_background = true;
+  // Fused is the interesting provider under faults: it degrades across
+  // gps -> network -> last-known instead of going silent.
+  behavior.providers = {android::LocationProvider::kFused};
+  behavior.request_interval_s = interval_s;
+  behavior.requested_granularity = android::Granularity::kFine;
+  return behavior;
+}
+
+struct SweepRow {
+  double intensity = 0.0;
+  std::int64_t interval_s = 0;
+  double delivered = 0.0;
+  double withheld_outage = 0.0;
+  double dropped_loss = 0.0;
+  double degraded_network = 0.0;
+  double served_last_known = 0.0;
+  double poi_total = 0.0;
+  double poi_sensitive = 0.0;
+  double hisbin_rate = 0.0;  ///< Fraction of users with either pattern firing.
+  double anonymity = 0.0;    ///< Mean Deg_anonymity (pattern 2).
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("fault degradation: leakage metrics vs substrate faults",
+                      /*uses_mobility_corpus=*/false);
+
+  // A dedicated small corpus: the sweep replays every user once per cell
+  // through per-second framework ticks, so it pays for wall-clock directly.
+  mobility::DatasetConfig dataset_config;
+  dataset_config.seed = core::kDatasetSeed;
+  dataset_config.user_count = 8;
+  dataset_config.synthesis.days = 3;
+  std::cout << "corpus: " << dataset_config.user_count << " users x "
+            << dataset_config.synthesis.days << " days (seed "
+            << dataset_config.seed << ")\n\n";
+  const core::PrivacyAnalyzer analyzer = core::PrivacyAnalyzer::from_synthetic(
+      core::experiment_analyzer_config(), dataset_config);
+
+  std::vector<SweepRow> rows;
+  for (const double intensity : kIntensities) {
+    for (const std::int64_t interval_s : kIntervals) {
+      SweepRow row;
+      row.intensity = intensity;
+      row.interval_s = interval_s;
+      for (std::size_t user = 0; user < analyzer.user_count(); ++user) {
+        const auto& points = analyzer.reference(user).points;
+        if (points.empty()) continue;
+        const std::int64_t t0 = points.front().timestamp_s;
+        const std::int64_t t1 = points.back().timestamp_s;
+
+        android::DeviceSimulator device(core::kDatasetSeed + user,
+                                        points.front().position);
+        device.jump_to(t0 - 1);
+        device.install(spy_manifest(), spy_behavior(interval_s));
+        device.launch("com.spy");
+        device.move_to_background("com.spy");
+
+        // Seed per (intensity, user): the interval must NOT change the
+        // schedule, only how the app samples it; users get disjoint streams.
+        std::uint64_t schedule_seed = core::kDatasetSeed;
+        stats::splitmix64(schedule_seed);
+        schedule_seed += static_cast<std::uint64_t>(intensity * 1000.0) * 1000003ULL +
+                         user;
+        sim::FaultInjector injector(sim::FaultConfig::canonical(intensity),
+                                    schedule_seed, t0, t1 + 1);
+        injector.install(device.location_manager());
+
+        android::replay_trace(device, points, /*sync_clock=*/false);
+        const auto collected =
+            android::collected_fixes(device.location_manager(), "com.spy");
+        const auto report = analyzer.evaluate_collected(user, interval_s, collected);
+
+        const auto& counters = injector.counters();
+        row.delivered += static_cast<double>(counters.delivered);
+        row.withheld_outage += static_cast<double>(counters.withheld_outage);
+        row.dropped_loss += static_cast<double>(counters.dropped_loss);
+        row.degraded_network += static_cast<double>(counters.degraded_network);
+        row.served_last_known += static_cast<double>(counters.served_last_known);
+        row.poi_total += report.poi_total.fraction();
+        row.poi_sensitive += report.poi_sensitive.fraction();
+        row.hisbin_rate += report.breach_detected() ? 1.0 : 0.0;
+        row.anonymity += report.anonymity_movements;
+      }
+      const auto users = static_cast<double>(analyzer.user_count());
+      row.delivered /= users;
+      row.withheld_outage /= users;
+      row.dropped_loss /= users;
+      row.degraded_network /= users;
+      row.served_last_known /= users;
+      row.poi_total /= users;
+      row.poi_sensitive /= users;
+      row.hisbin_rate /= users;
+      row.anonymity /= users;
+      rows.push_back(row);
+    }
+  }
+
+  util::ConsoleTable table({"intensity", "interval (s)", "fixes", "outage-held",
+                            "lost", "net-degraded", "stale", "PoI_total",
+                            "His_bin rate", "Deg_anon (p2)"});
+  for (const SweepRow& row : rows)
+    table.add_row({util::format_fixed(row.intensity, 2),
+                   std::to_string(row.interval_s),
+                   util::format_fixed(row.delivered, 0),
+                   util::format_fixed(row.withheld_outage, 0),
+                   util::format_fixed(row.dropped_loss, 0),
+                   util::format_fixed(row.degraded_network, 0),
+                   util::format_fixed(row.served_last_known, 0),
+                   util::format_percent(row.poi_total, 1),
+                   util::format_percent(row.hisbin_rate, 1),
+                   util::format_fixed(row.anonymity, 3)});
+  table.print(std::cout);
+
+  // Machine-readable copies: a CSV block on stdout (always, so two runs can
+  // be diffed byte-for-byte), plus CSV/JSON files under LOCPRIV_CSV_DIR.
+  const std::vector<std::string> csv_header = {
+      "intensity", "interval_s", "delivered", "withheld_outage", "dropped_loss",
+      "degraded_network", "served_last_known", "poi_total", "poi_sensitive",
+      "hisbin_rate", "deg_anonymity_p2"};
+  const auto csv_fields = [](const SweepRow& row) {
+    return std::vector<std::string>{
+        util::format_fixed(row.intensity, 2), std::to_string(row.interval_s),
+        util::format_fixed(row.delivered, 1),
+        util::format_fixed(row.withheld_outage, 1),
+        util::format_fixed(row.dropped_loss, 1),
+        util::format_fixed(row.degraded_network, 1),
+        util::format_fixed(row.served_last_known, 1),
+        util::format_fixed(row.poi_total, 4),
+        util::format_fixed(row.poi_sensitive, 4),
+        util::format_fixed(row.hisbin_rate, 4),
+        util::format_fixed(row.anonymity, 4)};
+  };
+
+  std::cout << "\n--- csv ---\n";
+  util::CsvWriter stdout_csv(std::cout);
+  stdout_csv.write_row(csv_header);
+  for (const SweepRow& row : rows) stdout_csv.write_row(csv_fields(row));
+
+  bench::SeriesCsv file_csv("fault_degradation");
+  file_csv.row(csv_header);
+  for (const SweepRow& row : rows) file_csv.row(csv_fields(row));
+
+  if (const char* dir = std::getenv("LOCPRIV_CSV_DIR"); dir != nullptr && *dir) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.key("rows");
+    json.begin_array();
+    for (const SweepRow& row : rows) {
+      json.begin_object();
+      json.member("intensity", row.intensity);
+      json.member("interval_s", row.interval_s);
+      json.member("delivered", row.delivered);
+      json.member("poi_total", row.poi_total);
+      json.member("poi_sensitive", row.poi_sensitive);
+      json.member("hisbin_rate", row.hisbin_rate);
+      json.member("deg_anonymity_p2", row.anonymity);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    const std::string path = std::string(dir) + "/fault_degradation.json";
+    std::ofstream out(path);
+    if (out) {
+      out << json.str() << '\n';
+      std::cout << "(json -> " << path << ")\n";
+    } else {
+      std::cerr << "warning: cannot write " << path << '\n';
+    }
+  }
+  return 0;
+}

@@ -99,6 +99,14 @@ std::size_t LocationManager::tick(std::int64_t now_s, const geo::LatLon& positio
                          : now_s - request.last_delivery_s >= request.interval_s;
     if (!due) continue;
     Location fix = make_fix(request.provider, request.granularity, position, now_s);
+    if (fault_hook_) {
+      const FaultVerdict verdict = fault_hook_(request, fix);
+      if (verdict == FaultVerdict::kDropRetry) continue;
+      if (verdict == FaultVerdict::kDropConsume) {
+        request.last_delivery_s = now_s;
+        continue;
+      }
+    }
     // The request is consumed (its clock advances) whether or not the
     // policy suppresses the release — an app cannot bypass the policy by
     // re-requesting faster.
@@ -122,6 +130,16 @@ std::size_t LocationManager::tick(std::int64_t now_s, const geo::LatLon& positio
       if (!due) continue;
       Location fix = active_fix;
       fix.provider = LocationProvider::kPassive;
+      // Passive listeners piggyback on a fix that already survived the fault
+      // layer, but the per-listener delivery leg can still fail.
+      if (fault_hook_) {
+        const FaultVerdict verdict = fault_hook_(request, fix);
+        if (verdict == FaultVerdict::kDropRetry) continue;
+        if (verdict == FaultVerdict::kDropConsume) {
+          request.last_delivery_s = now_s;
+          continue;
+        }
+      }
       request.last_delivery_s = now_s;
       if (release_hook_ && !release_hook_(request.package, fix)) continue;
       delivery_log_.push_back({request.package, fix});

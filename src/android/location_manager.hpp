@@ -33,6 +33,17 @@ struct Delivery {
   Location location;
 };
 
+/// What the fault layer decides about one scheduled fix. The distinction
+/// between the two drop verdicts is whether the request's interval clock is
+/// consumed: a fix lost in flight costs the app a full interval, whereas an
+/// unavailable provider keeps the request due so delivery resumes on the
+/// first healthy tick (how real hardware behaves after a GPS outage).
+enum class FaultVerdict {
+  kDeliver,      ///< Deliver (the fix may have been mutated by the hook).
+  kDropConsume,  ///< Fix lost in flight; next delivery a full interval later.
+  kDropRetry,    ///< Provider unavailable; the request retries next tick.
+};
+
 /// The location framework.
 class LocationManager {
  public:
@@ -43,11 +54,22 @@ class LocationManager {
   /// agnostic, the policy sees every release.
   using ReleaseHook = std::function<bool(const std::string& package, Location& fix)>;
 
+  /// Fault hook: consulted for every fix between scheduling and listener
+  /// delivery, *before* the release hook; may mutate the fix (position
+  /// noise, accuracy degradation, substitution) or veto the delivery. Unset
+  /// means a perfect substrate — the default path is unchanged. This is the
+  /// integration point for sim::FaultInjector.
+  using FaultHook = std::function<FaultVerdict(const LocationRequest& request,
+                                               Location& fix)>;
+
   /// `noise` drives per-fix accuracy jitter.
   explicit LocationManager(stats::Rng noise);
 
   /// Installs (or clears, with nullptr) the release hook.
   void set_release_hook(ReleaseHook hook) { release_hook_ = std::move(hook); }
+
+  /// Installs (or clears, with nullptr) the fault hook.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Registers `package` for updates from `provider` every `interval_s`
   /// seconds. Throws SecurityException if `held` lacks the permission the
@@ -93,6 +115,7 @@ class LocationManager {
 
   std::vector<LocationRequest> requests_;
   ReleaseHook release_hook_;
+  FaultHook fault_hook_;
   std::vector<Delivery> delivery_log_;
   Location last_known_{};
   bool has_last_known_ = false;

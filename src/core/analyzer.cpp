@@ -73,13 +73,27 @@ std::vector<poi::Poi> PrivacyAnalyzer::collected_pois(std::size_t user,
 ExposureReport PrivacyAnalyzer::evaluate_exposure(std::size_t user,
                                                   std::int64_t interval_s) const {
   const UserReference& reference = this->reference(user);
-  ExposureReport report;
-  report.interval_s = interval_s;
-
   const auto collected = interval_s <= 1
                              ? reference.points
                              : trace::decimate(reference.points, interval_s);
+  return evaluate_collected(user, interval_s, collected);
+}
+
+ExposureReport PrivacyAnalyzer::evaluate_collected(
+    std::size_t user, std::int64_t interval_s,
+    const std::vector<trace::TracePoint>& collected) const {
+  const UserReference& reference = this->reference(user);
+  ExposureReport report;
+  report.interval_s = interval_s;
   report.collected_fixes = collected.size();
+  if (collected.empty()) {
+    // A fully degraded substrate observed nothing: every recovery metric is
+    // zero and no histogram test is attempted.
+    report.poi_total.reference_count = reference.pois.size();
+    for (const auto& poi : reference.pois)
+      if (poi.visit_count() <= 3) ++report.poi_sensitive.reference_count;
+    return report;
+  }
   const auto stays = poi::extract_stay_points(collected, config_.extraction);
   const auto pois = poi::cluster_stay_points(stays, config_.extraction.radius_m);
   report.extracted_pois = pois.size();

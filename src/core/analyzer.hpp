@@ -81,6 +81,15 @@ class PrivacyAnalyzer {
   /// `interval_s` seconds from the start of the trace.
   ExposureReport evaluate_exposure(std::size_t user, std::int64_t interval_s) const;
 
+  /// Evaluates exposure from an externally collected observation of `user`
+  /// (e.g. fixes delivered through the simulated framework under fault
+  /// injection) instead of the analytical decimation model. `collected` may
+  /// be sparse, gappy, or empty — an unreliable substrate can deliver
+  /// nothing at all, which scores as zero exposure rather than erroring.
+  /// Precondition: `collected` in non-decreasing time order.
+  ExposureReport evaluate_collected(std::size_t user, std::int64_t interval_s,
+                                    const std::vector<trace::TracePoint>& collected) const;
+
   /// Earliest prefix fraction at which His_bin fires against the user's own
   /// profile (paper Figure 4(a)); `pattern` selects the representation.
   privacy::DetectionOutcome earliest_detection(std::size_t user,

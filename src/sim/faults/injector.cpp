@@ -1,0 +1,148 @@
+#include "sim/faults/injector.hpp"
+
+#include <cmath>
+
+#include "geo/geodesy.hpp"
+#include "util/expect.hpp"
+
+namespace locpriv::sim {
+
+using android::FaultVerdict;
+using android::LocationProvider;
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed,
+                             std::int64_t horizon_start_s,
+                             std::int64_t horizon_end_s)
+    : schedule_(config, seed, horizon_start_s, horizon_end_s),
+      failover_(schedule_),
+      // The schedule consumes its own forks of `seed`; the per-fix stream
+      // gets an independent derivation so schedule and noise never alias.
+      rng_(stats::Rng(seed).fork()) {}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : schedule_(std::move(schedule)),
+      failover_(schedule_),
+      rng_(stats::Rng(seed).fork()) {}
+
+void FaultInjector::install(android::LocationManager& manager) {
+  manager.set_fault_hook(
+      [this](const android::LocationRequest& request, android::Location& fix) {
+        return on_fix(request, fix);
+      });
+}
+
+const ProviderFaultConfig& FaultInjector::provider_config(
+    LocationProvider provider) const {
+  return provider == LocationProvider::kNetwork ? schedule_.config().network
+                                                : schedule_.config().gps;
+}
+
+void FaultInjector::perturb(android::Location& fix,
+                            const ProviderFaultConfig& config,
+                            double& drift_east_m, double& drift_north_m) {
+  if (config.drift_step_m > 0.0) {
+    drift_east_m += rng_.normal(0.0, config.drift_step_m);
+    drift_north_m += rng_.normal(0.0, config.drift_step_m);
+  }
+  double east = drift_east_m;
+  double north = drift_north_m;
+  if (config.noise_sigma_m > 0.0) {
+    east += rng_.normal(0.0, config.noise_sigma_m);
+    north += rng_.normal(0.0, config.noise_sigma_m);
+  }
+  if (east == 0.0 && north == 0.0) return;
+  fix.position = geo::destination(fix.position, north >= 0.0 ? 0.0 : 180.0,
+                                  std::abs(north));
+  fix.position = geo::destination(fix.position, east >= 0.0 ? 90.0 : 270.0,
+                                  std::abs(east));
+  // The reported accuracy degrades with the injected error scale.
+  fix.accuracy_m = std::max(fix.accuracy_m, config.noise_sigma_m);
+}
+
+FaultVerdict FaultInjector::on_fix(const android::LocationRequest& request,
+                                   android::Location& fix) {
+  const std::int64_t now_s = fix.time_s;
+  const LocationProvider provider = request.provider;
+
+  // Passive listeners ride on a fix that already survived the source's fault
+  // path; only their own delivery leg can fail.
+  if (provider == LocationProvider::kPassive) {
+    const double p = schedule_.config().passive_drop_probability;
+    if (p > 0.0 && rng_.bernoulli(p)) {
+      ++counters_.dropped_loss;
+      return FaultVerdict::kDropConsume;
+    }
+    ++counters_.delivered;
+    return FaultVerdict::kDeliver;
+  }
+
+  const ProviderFaultConfig* leg = nullptr;
+  if (provider == LocationProvider::kGps || provider == LocationProvider::kNetwork) {
+    if (!schedule_.available(provider, now_s)) {
+      ++counters_.withheld_outage;
+      return FaultVerdict::kDropRetry;
+    }
+    leg = &provider_config(provider);
+    if (provider == LocationProvider::kGps)
+      perturb(fix, *leg, gps_drift_east_m_, gps_drift_north_m_);
+    else
+      perturb(fix, *leg, network_drift_east_m_, network_drift_north_m_);
+  } else {
+    // Fused: degrade across sources instead of failing.
+    switch (failover_.select(now_s)) {
+      case FusedSource::kGps:
+        leg = &schedule_.config().gps;
+        perturb(fix, *leg, gps_drift_east_m_, gps_drift_north_m_);
+        break;
+      case FusedSource::kNetwork:
+        ++counters_.degraded_network;
+        leg = &schedule_.config().network;
+        fix.accuracy_m = android::provider_accuracy_m(
+            LocationProvider::kNetwork, android::Granularity::kCoarse);
+        perturb(fix, *leg, network_drift_east_m_, network_drift_north_m_);
+        break;
+      case FusedSource::kLastKnown:
+        // Nothing answers: hand out the last fix this injector let through,
+        // exactly the stale-fix behaviour the failover exists to make
+        // explicit. Before any fix exists there is nothing to serve.
+        if (!has_last_fused_) {
+          ++counters_.withheld_outage;
+          return FaultVerdict::kDropRetry;
+        }
+        ++counters_.served_last_known;
+        ++counters_.delivered;
+        fix.position = last_fused_.position;
+        fix.accuracy_m = last_fused_.accuracy_m;
+        return FaultVerdict::kDeliver;
+    }
+  }
+
+  // Shared delivery leg: a fix already produced can still arrive late or
+  // not at all.
+  const auto key = std::make_pair(request.package, provider);
+  const auto held = hold_until_.find(key);
+  if (held != hold_until_.end()) {
+    if (now_s < held->second) return FaultVerdict::kDropRetry;
+    hold_until_.erase(held);
+    ++counters_.delayed;
+  } else {
+    if (leg->drop_probability > 0.0 && rng_.bernoulli(leg->drop_probability)) {
+      ++counters_.dropped_loss;
+      return FaultVerdict::kDropConsume;
+    }
+    if (leg->delay_probability > 0.0 && leg->max_delay_s > 0 &&
+        rng_.bernoulli(leg->delay_probability)) {
+      hold_until_[key] = now_s + rng_.uniform_int(1, leg->max_delay_s);
+      return FaultVerdict::kDropRetry;
+    }
+  }
+
+  if (provider == LocationProvider::kFused) {
+    last_fused_ = fix;
+    has_last_fused_ = true;
+  }
+  ++counters_.delivered;
+  return FaultVerdict::kDeliver;
+}
+
+}  // namespace locpriv::sim

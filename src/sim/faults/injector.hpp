@@ -1,0 +1,86 @@
+// FaultInjector: turns a FaultSchedule into live misbehaviour of the
+// simulated location stack. Installed on a LocationManager it intercepts
+// every fix between scheduling and listener delivery and applies, in order:
+//
+//   1. provider outages + cold-start TTFF  -> fix withheld, request retries
+//   2. fused graceful degradation          -> gps -> network -> last-known
+//   3. position noise and random-walk drift-> fix position perturbed
+//   4. delivery delay                      -> fix withheld until a due time
+//   5. delivery loss                       -> fix dropped, interval consumed
+//
+// All randomness is drawn from one seeded stream in delivery order, so a
+// fixed (seed, config, workload) triple reproduces the exact same delivery
+// log. With a zero-rate config the injector never touches a fix and the log
+// is byte-identical to an uninstrumented run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "android/location_manager.hpp"
+#include "sim/faults/failover.hpp"
+#include "sim/faults/schedule.hpp"
+
+namespace locpriv::sim {
+
+/// What the injector did over a run (bench/diagnostic output).
+struct FaultCounters {
+  std::size_t delivered = 0;        ///< Fixes that reached listeners.
+  std::size_t withheld_outage = 0;  ///< Retried: provider in outage/TTFF.
+  std::size_t dropped_loss = 0;     ///< Lost in flight (interval consumed).
+  std::size_t delayed = 0;          ///< Fixes that waited out a delay.
+  std::size_t degraded_network = 0; ///< Fused fixes served by network.
+  std::size_t served_last_known = 0;///< Fused fixes served stale.
+};
+
+class FaultInjector {
+ public:
+  /// Derives the schedule from `seed` over the horizon (see FaultSchedule).
+  FaultInjector(const FaultConfig& config, std::uint64_t seed,
+                std::int64_t horizon_start_s, std::int64_t horizon_end_s);
+
+  /// Uses a pre-built schedule (tests pin exact outage windows); per-fix
+  /// randomness still derives from `seed`.
+  FaultInjector(FaultSchedule schedule, std::uint64_t seed);
+
+  // The failover holds a pointer into schedule_, and the installed hook a
+  // pointer to *this; neither survives a copy or move.
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs this injector as `manager`'s fault hook. The injector must
+  /// outlive the manager's use of the hook.
+  void install(android::LocationManager& manager);
+
+  /// The hook body; public so tests can drive it directly.
+  android::FaultVerdict on_fix(const android::LocationRequest& request,
+                               android::Location& fix);
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const FusedFailover& failover() const { return failover_; }
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  const ProviderFaultConfig& provider_config(
+      android::LocationProvider provider) const;
+  /// Applies Gaussian per-fix noise plus accumulated random-walk drift.
+  void perturb(android::Location& fix, const ProviderFaultConfig& config,
+               double& drift_east_m, double& drift_north_m);
+
+  FaultSchedule schedule_;
+  FusedFailover failover_;
+  stats::Rng rng_;
+  FaultCounters counters_;
+  double gps_drift_east_m_ = 0.0;
+  double gps_drift_north_m_ = 0.0;
+  double network_drift_east_m_ = 0.0;
+  double network_drift_north_m_ = 0.0;
+  bool has_last_fused_ = false;
+  android::Location last_fused_{};
+  /// (package, provider) -> time before which delivery is held back.
+  std::map<std::pair<std::string, android::LocationProvider>, std::int64_t>
+      hold_until_;
+};
+
+}  // namespace locpriv::sim

@@ -1,0 +1,143 @@
+#include "sim/faults/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace locpriv::sim {
+
+FaultConfig FaultConfig::canonical(double intensity) {
+  LOCPRIV_EXPECT(intensity >= 0.0 && intensity <= 1.0);
+  FaultConfig config;
+  config.gps.outages_per_hour = 2.0 * intensity;
+  config.gps.outage_mean_s = 300.0 * intensity;
+  config.gps.ttff_s = static_cast<std::int64_t>(30.0 * intensity);
+  config.gps.noise_sigma_m = 30.0 * intensity;
+  config.gps.drift_step_m = 2.0 * intensity;
+  config.gps.drop_probability = 0.10 * intensity;
+  config.gps.delay_probability = 0.10 * intensity;
+  config.gps.max_delay_s = static_cast<std::int64_t>(20.0 * intensity);
+  // The network path fails less often but is noisier when it does serve.
+  config.network.outages_per_hour = 0.5 * intensity;
+  config.network.outage_mean_s = 120.0 * intensity;
+  config.network.ttff_s = 0;
+  config.network.noise_sigma_m = 80.0 * intensity;
+  config.network.drop_probability = 0.05 * intensity;
+  config.passive_drop_probability = 0.05 * intensity;
+  config.cold_boot = intensity > 0.0;
+  return config;
+}
+
+std::vector<OutageWindow> normalize_windows(std::vector<OutageWindow> windows) {
+  std::erase_if(windows,
+                [](const OutageWindow& w) { return w.end_s <= w.start_s; });
+  std::sort(windows.begin(), windows.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.start_s < b.start_s;
+            });
+  std::vector<OutageWindow> merged;
+  for (const OutageWindow& window : windows) {
+    if (!merged.empty() && window.start_s <= merged.back().end_s)
+      merged.back().end_s = std::max(merged.back().end_s, window.end_s);
+    else
+      merged.push_back(window);
+  }
+  return merged;
+}
+
+namespace {
+
+// Draws the outage plan of one provider as a Poisson arrival process with
+// exponential durations; every outage is extended by the cold-start TTFF
+// (the receiver has lost its almanac and needs time to reacquire).
+std::vector<OutageWindow> draw_windows(const ProviderFaultConfig& provider,
+                                       stats::Rng& rng, std::int64_t start_s,
+                                       std::int64_t end_s, bool cold_boot) {
+  std::vector<OutageWindow> windows;
+  if (cold_boot && provider.ttff_s > 0)
+    windows.push_back({start_s, start_s + provider.ttff_s});
+  if (provider.outages_per_hour <= 0.0 || provider.outage_mean_s <= 0.0)
+    return normalize_windows(std::move(windows));
+  const double mean_gap_s = 3600.0 / provider.outages_per_hour;
+  double t = static_cast<double>(start_s);
+  while (true) {
+    t += rng.exponential(mean_gap_s);
+    if (t >= static_cast<double>(end_s)) break;
+    const double duration = rng.exponential(provider.outage_mean_s) +
+                            static_cast<double>(provider.ttff_s);
+    const auto outage_start = static_cast<std::int64_t>(t);
+    windows.push_back({outage_start, outage_start +
+                                         std::max<std::int64_t>(
+                                             1, static_cast<std::int64_t>(duration))});
+    t += duration;
+  }
+  return normalize_windows(std::move(windows));
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(const FaultConfig& config, std::uint64_t seed,
+                             std::int64_t horizon_start_s,
+                             std::int64_t horizon_end_s)
+    : config_(config), horizon_start_s_(horizon_start_s) {
+  LOCPRIV_EXPECT(horizon_start_s <= horizon_end_s);
+  // Independent streams per provider so changing one provider's parameters
+  // never perturbs the other's plan.
+  stats::Rng root(seed);
+  stats::Rng gps_rng = root.fork();
+  stats::Rng network_rng = root.fork();
+  gps_windows_ = draw_windows(config.gps, gps_rng, horizon_start_s, horizon_end_s,
+                              config.cold_boot);
+  network_windows_ = draw_windows(config.network, network_rng, horizon_start_s,
+                                  horizon_end_s, /*cold_boot=*/false);
+}
+
+FaultSchedule::FaultSchedule(const FaultConfig& config,
+                             std::vector<OutageWindow> gps_windows,
+                             std::vector<OutageWindow> network_windows)
+    : config_(config),
+      gps_windows_(normalize_windows(std::move(gps_windows))),
+      network_windows_(normalize_windows(std::move(network_windows))) {}
+
+const std::vector<OutageWindow>* FaultSchedule::windows_of(
+    android::LocationProvider provider) const {
+  switch (provider) {
+    case android::LocationProvider::kGps: return &gps_windows_;
+    case android::LocationProvider::kNetwork: return &network_windows_;
+    case android::LocationProvider::kPassive:
+    case android::LocationProvider::kFused: return nullptr;
+  }
+  return nullptr;
+}
+
+bool FaultSchedule::available(android::LocationProvider provider,
+                              std::int64_t t) const {
+  const auto* windows = windows_of(provider);
+  if (windows == nullptr) return true;
+  // Windows are sorted and disjoint: find the last one starting at or
+  // before t and check containment.
+  auto it = std::upper_bound(windows->begin(), windows->end(), t,
+                             [](std::int64_t value, const OutageWindow& w) {
+                               return value < w.start_s;
+                             });
+  if (it == windows->begin()) return true;
+  --it;
+  return t >= it->end_s;
+}
+
+std::int64_t FaultSchedule::available_for_s(android::LocationProvider provider,
+                                            std::int64_t t) const {
+  const auto* windows = windows_of(provider);
+  if (windows == nullptr) return std::max<std::int64_t>(0, t - horizon_start_s_);
+  auto it = std::upper_bound(windows->begin(), windows->end(), t,
+                             [](std::int64_t value, const OutageWindow& w) {
+                               return value < w.start_s;
+                             });
+  if (it == windows->begin())
+    return std::max<std::int64_t>(0, t - horizon_start_s_);
+  --it;
+  if (t < it->end_s) return 0;  // Inside an outage.
+  return t - it->end_s;
+}
+
+}  // namespace locpriv::sim

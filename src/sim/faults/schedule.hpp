@@ -1,0 +1,104 @@
+// Deterministic fault schedules for the simulated location substrate.
+//
+// The paper's measurements come from physical hardware that fails all the
+// time — GPS dies indoors, providers cold-start, deliveries get lost — while
+// the simulator is perfectly reliable. This module derives a reproducible
+// failure plan from a single 64-bit seed: per-provider outage windows
+// (Poisson arrivals, exponential durations), cold-start TTFF extensions, and
+// the per-fix noise/drop/delay parameters the injector consumes. Same seed
+// and config => bit-identical schedule, so every injected failure can be
+// replayed exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "android/location.hpp"
+#include "stats/rng.hpp"
+
+namespace locpriv::sim {
+
+/// One closed-open unavailability window [start_s, end_s).
+struct OutageWindow {
+  std::int64_t start_s = 0;
+  std::int64_t end_s = 0;
+
+  friend bool operator==(const OutageWindow&, const OutageWindow&) = default;
+};
+
+/// Fault model of one provider's hardware path.
+struct ProviderFaultConfig {
+  double outages_per_hour = 0.0;   ///< Mean outage arrivals per simulated hour.
+  double outage_mean_s = 0.0;      ///< Mean outage duration (exponential).
+  std::int64_t ttff_s = 0;         ///< Cold-start time-to-first-fix appended to
+                                   ///< every outage (and to boot, for GPS).
+  double noise_sigma_m = 0.0;      ///< Per-fix Gaussian position noise (1-sigma
+                                   ///< per axis).
+  double drift_step_m = 0.0;       ///< Random-walk drift step per delivered fix.
+  double drop_probability = 0.0;   ///< Per-fix delivery loss.
+  double delay_probability = 0.0;  ///< Per-fix delivery delay.
+  std::int64_t max_delay_s = 0;    ///< Uniform delay bound when delayed.
+};
+
+/// Whole-substrate fault model.
+struct FaultConfig {
+  ProviderFaultConfig gps;
+  ProviderFaultConfig network;
+  double passive_drop_probability = 0.0;  ///< Loss on the passive piggyback leg.
+  std::int64_t failover_hysteresis_s = 120;  ///< Fused up-switch dwell time.
+  bool cold_boot = true;  ///< Apply the GPS TTFF at the start of the horizon.
+
+  /// A canonical profile parameterised by `intensity` in [0, 1]: 0 is the
+  /// perfect substrate (all rates zero), 1 is an aggressively degraded one
+  /// (frequent multi-minute GPS outages, 30 m noise, 10 % loss). The bench
+  /// sweeps this knob; tests pin specific corners.
+  static FaultConfig canonical(double intensity);
+};
+
+/// Pre-derived failure plan over a fixed horizon. Outage windows already
+/// include the TTFF extension: a provider is "available" only when it is
+/// outside every window *and* warmed up.
+class FaultSchedule {
+ public:
+  /// Derives the schedule for [horizon_start_s, horizon_end_s) from `seed`.
+  /// Precondition: horizon_start_s <= horizon_end_s.
+  FaultSchedule(const FaultConfig& config, std::uint64_t seed,
+                std::int64_t horizon_start_s, std::int64_t horizon_end_s);
+
+  /// Builds a schedule from explicit windows (tests pin exact scenarios).
+  /// Windows need not be sorted; they are normalised on construction.
+  FaultSchedule(const FaultConfig& config, std::vector<OutageWindow> gps_windows,
+                std::vector<OutageWindow> network_windows);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// True when `provider` is serviceable at `t`. Passive and fused are
+  /// always "available" at the schedule level: passive has no hardware of
+  /// its own, and fused degrades across the others instead of failing.
+  bool available(android::LocationProvider provider, std::int64_t t) const;
+
+  /// Seconds since `provider` last became available at time `t` (how long it
+  /// has been continuously healthy). Returns 0 while unavailable; a provider
+  /// never covered by a window reports the time since the horizon start.
+  std::int64_t available_for_s(android::LocationProvider provider,
+                               std::int64_t t) const;
+
+  const std::vector<OutageWindow>& gps_windows() const { return gps_windows_; }
+  const std::vector<OutageWindow>& network_windows() const {
+    return network_windows_;
+  }
+
+ private:
+  const std::vector<OutageWindow>* windows_of(
+      android::LocationProvider provider) const;
+
+  FaultConfig config_;
+  std::int64_t horizon_start_s_ = 0;
+  std::vector<OutageWindow> gps_windows_;
+  std::vector<OutageWindow> network_windows_;
+};
+
+/// Merges overlapping/touching windows and sorts by start time.
+std::vector<OutageWindow> normalize_windows(std::vector<OutageWindow> windows);
+
+}  // namespace locpriv::sim

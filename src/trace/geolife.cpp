@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace locpriv::trace {
@@ -52,10 +53,20 @@ Trajectory parse_plt(std::string_view text) {
   std::size_t line_number = 0;
   std::size_t pos = 0;
   while (pos < text.size()) {
-    std::size_t end = text.find('\n', pos);
-    if (end == std::string_view::npos) end = text.size();
+    // Accept LF, CRLF, and lone-CR terminators: real Geolife downloads mix
+    // them, and a lone-CR file would otherwise parse as one giant "header"
+    // line and silently yield an empty trajectory.
+    std::size_t end = text.find_first_of("\r\n", pos);
+    std::size_t next;
+    if (end == std::string_view::npos) {
+      end = text.size();
+      next = end;
+    } else {
+      next = end + 1;
+      if (text[end] == '\r' && next < text.size() && text[next] == '\n') ++next;
+    }
     std::string_view line = util::trim(text.substr(pos, end - pos));
-    pos = end + 1;
+    pos = next;
     ++line_number;
     if (line_number <= 6) continue;  // Fixed-size prose header.
     if (line.empty()) continue;
@@ -101,41 +112,92 @@ std::string write_plt(const Trajectory& trajectory) {
   return os.str();
 }
 
-std::vector<UserTrace> read_geolife_dataset(const fs::path& root) {
+std::vector<UserTrace> read_geolife_dataset(const fs::path& root,
+                                            const ReadOptions& options,
+                                            IngestReport* report) {
   if (!fs::exists(root))
     throw std::runtime_error("Geolife root does not exist: " + root.string());
 
-  std::vector<UserTrace> users;
+  // Enumerate first (sorted, sequential) so the parse fan-out below writes
+  // into index-keyed slots and the result is identical at any thread count.
+  struct FileSlot {
+    std::size_t user_index = 0;
+    fs::path path;
+    Trajectory trajectory;
+    std::string error;
+    bool failed = false;
+  };
   std::vector<fs::path> user_dirs;
   for (const auto& entry : fs::directory_iterator(root))
     if (entry.is_directory()) user_dirs.push_back(entry.path());
   std::sort(user_dirs.begin(), user_dirs.end());
 
-  for (const auto& user_dir : user_dirs) {
-    const fs::path trajectory_dir = user_dir / "Trajectory";
+  std::vector<UserTrace> staged(user_dirs.size());
+  std::vector<FileSlot> slots;
+  for (std::size_t u = 0; u < user_dirs.size(); ++u) {
+    staged[u].user_id = user_dirs[u].filename().string();
+    const fs::path trajectory_dir = user_dirs[u] / "Trajectory";
     if (!fs::exists(trajectory_dir)) continue;
-    UserTrace user;
-    user.user_id = user_dir.filename().string();
     std::vector<fs::path> plt_files;
     for (const auto& entry : fs::directory_iterator(trajectory_dir))
       if (entry.is_regular_file() && entry.path().extension() == ".plt")
         plt_files.push_back(entry.path());
     std::sort(plt_files.begin(), plt_files.end());
-    for (const auto& file : plt_files) {
-      std::ifstream in(file, std::ios::binary);
-      if (!in) throw std::runtime_error("cannot open " + file.string());
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      Trajectory trajectory = parse_plt(buffer.str());
-      if (!trajectory.empty()) user.trajectories.push_back(std::move(trajectory));
+    for (auto& file : plt_files) slots.push_back({u, std::move(file), {}, {}, false});
+  }
+
+  IngestReport ingest;
+  ingest.files_scanned = slots.size();
+
+  util::parallel_for(
+      slots.size(),
+      [&](std::size_t i) {
+        FileSlot& slot = slots[i];
+        try {
+          std::ifstream in(slot.path, std::ios::binary);
+          if (!in) throw std::runtime_error("cannot open " + slot.path.string());
+          std::ostringstream buffer;
+          buffer << in.rdbuf();
+          slot.trajectory = parse_plt(buffer.str());
+        } catch (const std::exception& error) {
+          if (!options.lenient)
+            throw std::runtime_error(slot.path.string() + ": " + error.what());
+          slot.failed = true;
+          slot.error = error.what();
+        }
+      },
+      options.max_threads);
+
+  for (FileSlot& slot : slots) {
+    if (slot.failed) {
+      ingest.quarantined.push_back({std::move(slot.path), std::move(slot.error)});
+      continue;
     }
+    if (slot.trajectory.empty()) {
+      ++ingest.empty_files;
+      continue;
+    }
+    ++ingest.files_loaded;
+    ingest.points_loaded += slot.trajectory.size();
+    staged[slot.user_index].trajectories.push_back(std::move(slot.trajectory));
+  }
+
+  std::vector<UserTrace> users;
+  for (UserTrace& user : staged) {
+    if (user.trajectories.empty()) continue;
     std::sort(user.trajectories.begin(), user.trajectories.end(),
               [](const Trajectory& a, const Trajectory& b) {
                 return a.front().timestamp_s < b.front().timestamp_s;
               });
-    if (!user.trajectories.empty()) users.push_back(std::move(user));
+    users.push_back(std::move(user));
   }
+  ingest.users_loaded = users.size();
+  if (report != nullptr) *report = std::move(ingest);
   return users;
+}
+
+std::vector<UserTrace> read_geolife_dataset(const fs::path& root) {
+  return read_geolife_dataset(root, ReadOptions{});
 }
 
 void write_geolife_dataset(const fs::path& root, const std::vector<UserTrace>& users) {

@@ -30,16 +30,54 @@ std::int64_t plt_days_to_unix_s(double days_since_1899);
 /// Converts Unix seconds to a PLT fractional-day timestamp.
 double unix_s_to_plt_days(std::int64_t unix_s);
 
-/// Parses one .plt document from memory. Throws std::runtime_error with the
-/// offending line number on malformed input.
+/// Parses one .plt document from memory. Tolerates LF, CRLF, and lone-CR
+/// line endings and any number of trailing blank lines (all present in real
+/// Geolife downloads); throws std::runtime_error with the offending line
+/// number on genuinely malformed records.
 Trajectory parse_plt(std::string_view text);
 
 /// Serialises a trajectory to .plt text (Geolife header + records).
 std::string write_plt(const Trajectory& trajectory);
 
+/// One file the lenient reader set aside instead of loading.
+struct QuarantinedFile {
+  std::filesystem::path path;
+  std::string error;
+};
+
+/// Structured outcome of a dataset load.
+struct IngestReport {
+  std::size_t files_scanned = 0;   ///< .plt files considered.
+  std::size_t files_loaded = 0;    ///< Parsed into a non-empty trajectory.
+  std::size_t empty_files = 0;     ///< Parsed fine but held no records.
+  std::size_t points_loaded = 0;   ///< Total fixes across loaded files.
+  std::size_t users_loaded = 0;    ///< Users with at least one trajectory.
+  std::vector<QuarantinedFile> quarantined;  ///< Lenient mode only.
+
+  bool clean() const { return quarantined.empty(); }
+};
+
+/// Dataset-read behaviour.
+struct ReadOptions {
+  /// Strict (default): the first unreadable or corrupt file throws. Lenient:
+  /// such files are quarantined into the report and the rest of the corpus
+  /// still loads — how a production ingest survives a damaged download.
+  bool lenient = false;
+  /// Worker cap for per-file parsing (0 = hardware concurrency).
+  unsigned max_threads = 0;
+};
+
 /// Reads a whole Geolife-layout dataset: root/<user_id>/Trajectory/*.plt.
 /// Users are returned sorted by id; each user's trajectories sorted by
-/// start time. Throws std::runtime_error if root does not exist.
+/// start time. Files are parsed in parallel (deterministic output order).
+/// Throws std::runtime_error if root does not exist; per-file errors follow
+/// `options.lenient`. When `report` is non-null it receives the ingest
+/// summary in both modes.
+std::vector<UserTrace> read_geolife_dataset(const std::filesystem::path& root,
+                                            const ReadOptions& options,
+                                            IngestReport* report = nullptr);
+
+/// Strict-mode convenience overload (the original API).
 std::vector<UserTrace> read_geolife_dataset(const std::filesystem::path& root);
 
 /// Writes a dataset in Geolife layout under `root` (created if needed).

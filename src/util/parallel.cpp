@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/logging.hpp"
 
 namespace locpriv::util {
 
@@ -22,8 +24,10 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // One error slot per worker: every concurrent failure is captured, and
+  // "first" is deterministic (lowest worker index) rather than whichever
+  // thread lost the race to a shared mutex.
+  std::vector<std::exception_ptr> errors(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   const std::size_t chunk = (count + threads - 1) / threads;
@@ -31,16 +35,35 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
     const std::size_t begin = static_cast<std::size_t>(t) * chunk;
     const std::size_t end = std::min(count, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&, begin, end] {
+    workers.emplace_back([&, t, begin, end] {
       try {
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        errors[t] = std::current_exception();
       }
     });
   }
   for (auto& worker : workers) worker.join();
+
+  std::exception_ptr first_error;
+  for (const std::exception_ptr& error : errors) {
+    if (!error) continue;
+    if (!first_error) {
+      first_error = error;
+      continue;
+    }
+    // Secondary failures would otherwise vanish; surface them in the log
+    // before the primary one is rethrown.
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      LOCPRIV_LOG(kWarn, "parallel")
+          << "additional worker exception suppressed: " << e.what();
+    } catch (...) {
+      LOCPRIV_LOG(kWarn, "parallel")
+          << "additional non-std worker exception suppressed";
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

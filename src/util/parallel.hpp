@@ -12,8 +12,10 @@ namespace locpriv::util {
 
 /// Invokes `body(i)` for every i in [0, count). `body` runs concurrently
 /// for distinct indices; it must not touch shared mutable state without
-/// synchronisation. The first exception thrown by any invocation is
-/// rethrown on the caller's thread after all workers join.
+/// synchronisation. All workers are joined even when invocations throw;
+/// every worker's exception is collected, the one from the lowest worker
+/// index is rethrown on the caller's thread, and the rest are logged at
+/// warn level (concurrent failures are never silently dropped).
 ///
 /// `max_threads` caps the worker count (0 = hardware concurrency). Passing
 /// 1 degenerates to a plain sequential loop, which is also the fallback

@@ -1,0 +1,156 @@
+// Resilient Geolife ingestion: quarantining lenient mode, strict-mode
+// errors with file context, and line-ending tolerance in parse_plt.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/geolife.hpp"
+
+namespace locpriv::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A three-user dataset on disk; returns its root. The caller owns cleanup.
+fs::path write_fixture_dataset() {
+  const fs::path root = fs::temp_directory_path() / "locpriv_ingest_test";
+  fs::remove_all(root);
+
+  std::vector<UserTrace> users(3);
+  users[0].user_id = "000";
+  users[0].trajectories.push_back(
+      Trajectory({{{39.90, 116.40}, 1224814000}, {{39.91, 116.41}, 1224814060}}));
+  users[0].trajectories.push_back(
+      Trajectory({{{39.92, 116.42}, 1224900000}, {{39.93, 116.43}, 1224900060}}));
+  users[1].user_id = "001";
+  users[1].trajectories.push_back(Trajectory({{{40.00, 116.30}, 1224814000}}));
+  users[2].user_id = "002";
+  users[2].trajectories.push_back(
+      Trajectory({{{40.10, 116.20}, 1224814000}, {{40.11, 116.21}, 1224814030}}));
+  write_geolife_dataset(root, users);
+  return root;
+}
+
+void overwrite(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out << content;
+}
+
+const std::string kPltHeader = "h1\nh2\nh3\nh4\nh5\nh6\n";
+
+TEST(Ingest, LenientQuarantinesCorruptFileAndLoadsTheRest) {
+  const fs::path root = write_fixture_dataset();
+  const fs::path corrupt = root / "001" / "Trajectory" / "000000.plt";
+  overwrite(corrupt, kPltHeader + "garbage,record\n");
+  // An empty file is not an error: it parses to zero records.
+  overwrite(root / "002" / "Trajectory" / "000001.plt", "");
+
+  IngestReport report;
+  const auto users =
+      read_geolife_dataset(root, ReadOptions{.lenient = true}, &report);
+
+  // Users 000 and 002 load in full; 001's only file was quarantined.
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].user_id, "000");
+  EXPECT_EQ(users[0].total_points(), 4u);
+  EXPECT_EQ(users[1].user_id, "002");
+  EXPECT_EQ(users[1].total_points(), 2u);
+
+  EXPECT_EQ(report.files_scanned, 5u);
+  EXPECT_EQ(report.files_loaded, 3u);
+  EXPECT_EQ(report.empty_files, 1u);
+  EXPECT_EQ(report.points_loaded, 6u);
+  EXPECT_EQ(report.users_loaded, 2u);
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.quarantined.size(), 1u);  // Exactly the corrupt file.
+  EXPECT_EQ(report.quarantined[0].path, corrupt);
+  EXPECT_NE(report.quarantined[0].error.find("line 7"), std::string::npos)
+      << report.quarantined[0].error;
+
+  fs::remove_all(root);
+}
+
+TEST(Ingest, StrictModeThrowsWithFileAndLineContext) {
+  const fs::path root = write_fixture_dataset();
+  const fs::path corrupt = root / "001" / "Trajectory" / "000000.plt";
+  overwrite(corrupt, kPltHeader + "39.9,116.4,0,0,39745.0\nabc,1,2,3,4\n");
+
+  try {
+    read_geolife_dataset(root);
+    FAIL() << "expected strict mode to throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(corrupt.string()), std::string::npos) << what;
+    EXPECT_NE(what.find("line 8"), std::string::npos) << what;
+  }
+  fs::remove_all(root);
+}
+
+TEST(Ingest, StrictModeStillFillsTheReportWhenClean) {
+  const fs::path root = write_fixture_dataset();
+  IngestReport report;
+  const auto users = read_geolife_dataset(root, ReadOptions{}, &report);
+  ASSERT_EQ(users.size(), 3u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.files_scanned, 4u);
+  EXPECT_EQ(report.files_loaded, 4u);
+  EXPECT_EQ(report.points_loaded, 7u);
+  EXPECT_EQ(report.users_loaded, 3u);
+  fs::remove_all(root);
+}
+
+TEST(Ingest, LenientAndStrictAgreeOnCleanData) {
+  const fs::path root = write_fixture_dataset();
+  const auto strict = read_geolife_dataset(root);
+  const auto lenient = read_geolife_dataset(root, ReadOptions{.lenient = true});
+  ASSERT_EQ(strict.size(), lenient.size());
+  for (std::size_t u = 0; u < strict.size(); ++u) {
+    EXPECT_EQ(strict[u].user_id, lenient[u].user_id);
+    EXPECT_EQ(strict[u].total_points(), lenient[u].total_points());
+  }
+  fs::remove_all(root);
+}
+
+TEST(ParsePlt, ToleratesCrlfLoneCrAndTrailingBlankLines) {
+  const std::string record1 = "39.906631,116.385564,0,492,39745.0902662037";
+  const std::string record2 = "39.906554,116.385625,0,492,39745.0903240741";
+  const std::string lf =
+      "h1\nh2\nh3\nh4\nh5\nh6\n" + record1 + "\n" + record2 + "\n";
+  const std::string crlf = "h1\r\nh2\r\nh3\r\nh4\r\nh5\r\nh6\r\n" + record1 +
+                           "\r\n" + record2 + "\r\n\r\n\r\n";
+  const std::string lone_cr =
+      "h1\rh2\rh3\rh4\rh5\rh6\r" + record1 + "\r" + record2 + "\r\r";
+
+  const Trajectory baseline = parse_plt(lf);
+  ASSERT_EQ(baseline.size(), 2u);
+  for (const std::string& variant : {crlf, lone_cr}) {
+    const Trajectory parsed = parse_plt(variant);
+    ASSERT_EQ(parsed.size(), baseline.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      EXPECT_EQ(parsed[i].position, baseline[i].position);
+      EXPECT_EQ(parsed[i].timestamp_s, baseline[i].timestamp_s);
+    }
+  }
+}
+
+TEST(ParsePlt, MalformedRecordStillThrowsWithLineNumber) {
+  const std::string text =
+      "h1\r\nh2\r\nh3\r\nh4\r\nh5\r\nh6\r\n"
+      "39.9,116.4,0,0,39745.0\r\n"
+      "39.9,not-a-longitude,0,0,39745.0\r\n";
+  try {
+    parse_plt(text);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 8"), std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace locpriv::trace

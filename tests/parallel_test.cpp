@@ -58,6 +58,29 @@ TEST(ParallelFor, PropagatesFirstException) {
   EXPECT_GE(completed.load(), 50);
 }
 
+TEST(ParallelFor, CollectsAllConcurrentExceptionsAndRethrowsLowestWorker) {
+  // Every worker throws. All of them must be joined, the rethrown error must
+  // be the lowest worker's (deterministic, not a mutex race), and the others
+  // are logged rather than silently dropped.
+  std::atomic<int> throws{0};
+  constexpr std::size_t kCount = 64;  // 4 workers x 16-index chunks.
+  try {
+    parallel_for(
+        kCount,
+        [&](std::size_t i) {
+          if (i % 16 == 0) {  // First index of every worker's chunk.
+            throws.fetch_add(1, std::memory_order_relaxed);
+            throw std::runtime_error("boom in chunk " + std::to_string(i / 16));
+          }
+        },
+        4);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom in chunk 0");
+  }
+  EXPECT_EQ(throws.load(), 4);  // Every worker ran and failed; all joined.
+}
+
 TEST(ParallelFor, MaxThreadsOneIsPlainLoop) {
   std::vector<std::size_t> order;
   parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 1);

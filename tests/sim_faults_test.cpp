@@ -1,0 +1,289 @@
+// Fault-injection subsystem: schedule determinism, availability queries,
+// fused failover hysteresis, and end-to-end injector behaviour on the
+// simulated framework (same seed => identical delivery log; zero-rate
+// config => byte-identical to an uninstrumented run).
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "android/replay.hpp"
+#include "geo/geodesy.hpp"
+#include "sim/faults/failover.hpp"
+#include "sim/faults/injector.hpp"
+#include "sim/faults/schedule.hpp"
+
+namespace locpriv::sim {
+namespace {
+
+using android::AndroidManifest;
+using android::AppBehavior;
+using android::DeviceSimulator;
+using android::LocationProvider;
+using android::Permission;
+
+const geo::LatLon kAnchor{39.9042, 116.4074};
+
+AndroidManifest spy_manifest() {
+  AndroidManifest manifest;
+  manifest.package_name = "com.spy";
+  manifest.uses_permissions = {Permission::kAccessFineLocation};
+  return manifest;
+}
+
+AppBehavior spy_behavior(LocationProvider provider, std::int64_t interval_s) {
+  AppBehavior behavior;
+  behavior.uses_location = true;
+  behavior.auto_start_on_launch = true;
+  behavior.continues_in_background = true;
+  behavior.providers = {provider};
+  behavior.request_interval_s = interval_s;
+  return behavior;
+}
+
+std::vector<trace::TracePoint> straight_walk(std::int64_t t0, int fixes,
+                                             std::int64_t step_s) {
+  std::vector<trace::TracePoint> points;
+  for (int i = 0; i < fixes; ++i)
+    points.push_back(
+        {geo::destination(kAnchor, 90.0, i * 5.0), t0 + i * step_s});
+  return points;
+}
+
+/// Full-precision serialisation of a delivery log, for byte-level equality.
+std::string serialize_log(const android::LocationManager& manager) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (const auto& delivery : manager.delivery_log())
+    os << delivery.package << ' '
+       << android::provider_name(delivery.location.provider) << ' '
+       << delivery.location.time_s << ' ' << delivery.location.position.lat_deg
+       << ' ' << delivery.location.position.lon_deg << ' '
+       << delivery.location.accuracy_m << '\n';
+  return os.str();
+}
+
+/// Drives a spy app along `points`; if `injector` is non-null it is installed
+/// before replay. Returns the serialised delivery log.
+std::string run_spy(const std::vector<trace::TracePoint>& points,
+                    LocationProvider provider, std::int64_t interval_s,
+                    FaultInjector* injector) {
+  DeviceSimulator device(7, points.front().position);
+  device.jump_to(points.front().timestamp_s - 1);
+  device.install(spy_manifest(), spy_behavior(provider, interval_s));
+  device.launch("com.spy");
+  device.move_to_background("com.spy");
+  if (injector != nullptr) injector->install(device.location_manager());
+  android::replay_trace(device, points, /*sync_clock=*/false);
+  return serialize_log(device.location_manager());
+}
+
+TEST(NormalizeWindows, MergesSortsAndDropsDegenerate) {
+  const auto merged = normalize_windows({{200, 250},
+                                         {100, 150},
+                                         {140, 180},   // Overlaps [100,150).
+                                         {180, 200},   // Touches both sides.
+                                         {300, 300},   // Empty: dropped.
+                                         {400, 390}});  // Inverted: dropped.
+  const std::vector<OutageWindow> expected = {{100, 250}};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(FaultSchedule, SameSeedSameWindowsDifferentSeedDifferent) {
+  const FaultConfig config = FaultConfig::canonical(1.0);
+  const FaultSchedule a(config, 42, 0, 48 * 3600);
+  const FaultSchedule b(config, 42, 0, 48 * 3600);
+  EXPECT_EQ(a.gps_windows(), b.gps_windows());
+  EXPECT_EQ(a.network_windows(), b.network_windows());
+  ASSERT_FALSE(a.gps_windows().empty());
+
+  const FaultSchedule c(config, 43, 0, 48 * 3600);
+  EXPECT_NE(a.gps_windows(), c.gps_windows());
+}
+
+TEST(FaultSchedule, ZeroIntensityIsPerfectSubstrate) {
+  const FaultSchedule schedule(FaultConfig::canonical(0.0), 42, 0, 48 * 3600);
+  EXPECT_TRUE(schedule.gps_windows().empty());
+  EXPECT_TRUE(schedule.network_windows().empty());
+  EXPECT_TRUE(schedule.available(LocationProvider::kGps, 12345));
+}
+
+TEST(FaultSchedule, AvailabilityAndHealthyDuration) {
+  const FaultSchedule schedule(FaultConfig{}, {{100, 200}}, {});
+  EXPECT_TRUE(schedule.available(LocationProvider::kGps, 99));
+  EXPECT_FALSE(schedule.available(LocationProvider::kGps, 100));
+  EXPECT_FALSE(schedule.available(LocationProvider::kGps, 199));
+  EXPECT_TRUE(schedule.available(LocationProvider::kGps, 200));
+
+  EXPECT_EQ(schedule.available_for_s(LocationProvider::kGps, 50), 50);
+  EXPECT_EQ(schedule.available_for_s(LocationProvider::kGps, 150), 0);
+  EXPECT_EQ(schedule.available_for_s(LocationProvider::kGps, 260), 60);
+  // Network has no windows: healthy since the horizon start.
+  EXPECT_EQ(schedule.available_for_s(LocationProvider::kNetwork, 75), 75);
+  // Passive and fused never fail at the schedule level.
+  EXPECT_TRUE(schedule.available(LocationProvider::kPassive, 150));
+  EXPECT_TRUE(schedule.available(LocationProvider::kFused, 150));
+}
+
+TEST(FusedFailover, DowngradesImmediatelyUpgradesAfterHysteresis) {
+  FaultConfig config;
+  config.failover_hysteresis_s = 50;
+  const FaultSchedule schedule(config, {{100, 200}}, {});
+  FusedFailover failover(schedule);
+  for (std::int64_t t = 0; t <= 400; ++t) failover.select(t);
+
+  const std::vector<FusedFailover::Transition> expected = {
+      {100, FusedSource::kGps, FusedSource::kNetwork},   // GPS dies: instant.
+      {250, FusedSource::kNetwork, FusedSource::kGps}};  // 200 + hysteresis.
+  EXPECT_EQ(failover.transitions(), expected);
+  EXPECT_EQ(failover.current(), FusedSource::kGps);
+}
+
+TEST(FusedFailover, ShortRecoveryBlipsDoNotFlap) {
+  FaultConfig config;
+  config.failover_hysteresis_s = 50;
+  // Two GPS outages with a 20 s recovery between them — shorter than the
+  // hysteresis, so the feed must stay on network throughout.
+  const FaultSchedule schedule(config, {{100, 110}, {130, 140}}, {});
+  FusedFailover failover(schedule);
+  for (std::int64_t t = 0; t <= 400; ++t) failover.select(t);
+
+  const std::vector<FusedFailover::Transition> expected = {
+      {100, FusedSource::kGps, FusedSource::kNetwork},
+      {190, FusedSource::kNetwork, FusedSource::kGps}};  // 140 + hysteresis.
+  EXPECT_EQ(failover.transitions(), expected);
+}
+
+TEST(FusedFailover, FallsToLastKnownWhenEverythingIsOut) {
+  const FaultSchedule schedule(FaultConfig{}, {{100, 300}}, {{100, 300}});
+  FusedFailover failover(schedule);
+  EXPECT_EQ(failover.select(50), FusedSource::kGps);
+  EXPECT_EQ(failover.select(150), FusedSource::kLastKnown);
+}
+
+TEST(FaultInjector, SameSeedIdenticalDeliveryLogDifferentSeedNot) {
+  const auto points = straight_walk(1000, 300, 2);  // 600 s of walking.
+  const FaultConfig config = FaultConfig::canonical(0.75);
+  const std::int64_t t0 = points.front().timestamp_s;
+  const std::int64_t t1 = points.back().timestamp_s + 1;
+
+  FaultInjector a(config, 42, t0, t1);
+  FaultInjector b(config, 42, t0, t1);
+  FaultInjector c(config, 43, t0, t1);
+  const std::string log_a = run_spy(points, LocationProvider::kGps, 10, &a);
+  const std::string log_b = run_spy(points, LocationProvider::kGps, 10, &b);
+  const std::string log_c = run_spy(points, LocationProvider::kGps, 10, &c);
+
+  ASSERT_FALSE(log_a.empty());
+  EXPECT_EQ(log_a, log_b);  // Bit-identical replay.
+  EXPECT_NE(log_a, log_c);
+}
+
+TEST(FaultInjector, ZeroRateConfigIsByteIdenticalToNoInjector) {
+  const auto points = straight_walk(1000, 200, 2);
+  const std::int64_t t0 = points.front().timestamp_s;
+  const std::int64_t t1 = points.back().timestamp_s + 1;
+
+  const std::string bare = run_spy(points, LocationProvider::kGps, 10, nullptr);
+  FaultInjector injector(FaultConfig::canonical(0.0), 42, t0, t1);
+  const std::string faulted = run_spy(points, LocationProvider::kGps, 10, &injector);
+
+  ASSERT_FALSE(bare.empty());
+  EXPECT_EQ(bare, faulted);
+  EXPECT_EQ(injector.counters().withheld_outage, 0u);
+  EXPECT_EQ(injector.counters().dropped_loss, 0u);
+  EXPECT_GT(injector.counters().delivered, 0u);
+}
+
+TEST(FaultInjector, OutageWithholdsFixesAndRetriesAtRecovery) {
+  const auto points = straight_walk(1000, 200, 2);  // [1000, 1398].
+  FaultInjector injector(FaultSchedule(FaultConfig{}, {{1100, 1200}}, {}),
+                         /*seed=*/42);
+
+  DeviceSimulator device(7, points.front().position);
+  device.jump_to(points.front().timestamp_s - 1);
+  device.install(spy_manifest(), spy_behavior(LocationProvider::kGps, 10));
+  device.launch("com.spy");
+  device.move_to_background("com.spy");
+  injector.install(device.location_manager());
+  android::replay_trace(device, points, /*sync_clock=*/false);
+
+  bool saw_recovery_fix = false;
+  for (const auto& delivery : device.location_manager().delivery_log()) {
+    const std::int64_t t = delivery.location.time_s;
+    EXPECT_FALSE(t >= 1100 && t < 1200) << "fix delivered inside outage at " << t;
+    // kDropRetry keeps the request due, so service resumes the second the
+    // provider recovers — not a full interval later.
+    if (t == 1200) saw_recovery_fix = true;
+  }
+  EXPECT_TRUE(saw_recovery_fix);
+  EXPECT_GT(injector.counters().withheld_outage, 0u);
+}
+
+TEST(FaultInjector, FusedServesStaleLastKnownWhenAllSourcesOut) {
+  const auto points = straight_walk(1000, 200, 2);  // [1000, 1398].
+  // Both real sources die at 1100 and never recover inside the trace.
+  FaultInjector injector(
+      FaultSchedule(FaultConfig{}, {{1100, 2000}}, {{1100, 2000}}),
+      /*seed=*/42);
+
+  DeviceSimulator device(7, points.front().position);
+  device.jump_to(points.front().timestamp_s - 1);
+  device.install(spy_manifest(), spy_behavior(LocationProvider::kFused, 10));
+  device.launch("com.spy");
+  device.move_to_background("com.spy");
+  injector.install(device.location_manager());
+  android::replay_trace(device, points, /*sync_clock=*/false);
+
+  const auto& log = device.location_manager().delivery_log();
+  ASSERT_FALSE(log.empty());
+  geo::LatLon last_live{};
+  bool saw_stale = false;
+  for (const auto& delivery : log) {
+    if (delivery.location.time_s < 1100) {
+      last_live = delivery.location.position;
+    } else {
+      // Every fix after the blackout reports the frozen pre-outage position
+      // at a fresh timestamp — the stale-fix leak the failover models.
+      saw_stale = true;
+      EXPECT_LT(geo::haversine_m(delivery.location.position, last_live), 0.01);
+    }
+  }
+  EXPECT_TRUE(saw_stale);
+  EXPECT_GT(injector.counters().served_last_known, 0u);
+}
+
+TEST(FaultInjector, CertainLossDropsEverythingButConsumesTheInterval) {
+  const auto points = straight_walk(1000, 100, 2);
+  FaultConfig config;
+  config.gps.drop_probability = 1.0;
+  FaultInjector injector(config, 42, points.front().timestamp_s,
+                         points.back().timestamp_s + 1);
+  const std::string log = run_spy(points, LocationProvider::kGps, 10, &injector);
+
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(injector.counters().delivered, 0u);
+  // kDropConsume advances the interval clock: one loss per due request, not
+  // one per tick.
+  EXPECT_GT(injector.counters().dropped_loss, 0u);
+  EXPECT_LE(injector.counters().dropped_loss, 21u);  // ~198 s / 10 s + slack.
+}
+
+TEST(FaultInjector, DelayedFixesArriveLateAndAreCounted) {
+  const auto points = straight_walk(1000, 200, 2);
+  FaultConfig config;
+  config.gps.delay_probability = 1.0;
+  config.gps.max_delay_s = 5;
+  FaultInjector injector(config, 42, points.front().timestamp_s,
+                         points.back().timestamp_s + 1);
+  const std::string log = run_spy(points, LocationProvider::kGps, 10, &injector);
+
+  EXPECT_FALSE(log.empty());
+  EXPECT_GT(injector.counters().delayed, 0u);
+  EXPECT_EQ(injector.counters().delayed, injector.counters().delivered);
+}
+
+}  // namespace
+}  // namespace locpriv::sim

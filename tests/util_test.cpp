@@ -104,6 +104,21 @@ TEST(Csv, ParseQuotedFields) {
   EXPECT_EQ(doc.rows[0][1], "he said \"hi\"");
 }
 
+TEST(Csv, QuotedFieldsContainingNewlines) {
+  // A quoted field may span lines (both LF and CRLF); the record does not
+  // end until the closing quote's terminator.
+  const auto doc =
+      parse_csv("\"line1\nline2\",after\r\n\"crlf\r\ninside\",2\nplain,3\n",
+                /*has_header=*/false);
+  ASSERT_EQ(doc.rows.size(), 3u);
+  ASSERT_EQ(doc.rows[0].size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+  EXPECT_EQ(doc.rows[0][1], "after");
+  EXPECT_EQ(doc.rows[1][0], "crlf\r\ninside");
+  EXPECT_EQ(doc.rows[1][1], "2");
+  EXPECT_EQ(doc.rows[2][0], "plain");
+}
+
 TEST(Csv, HandlesCrlfAndTrailingNewlines) {
   const auto doc = parse_csv("1,2\r\n3,4\r\n\r\n", false);
   ASSERT_EQ(doc.rows.size(), 2u);

@@ -38,24 +38,56 @@ int usage() {
   std::cerr <<
       "usage: locpriv <command> [options]\n"
       "  gen-dataset   --out DIR [--users N] [--days D] [--seed S]\n"
-      "  dataset-stats --root DIR\n"
+      "  dataset-stats --root DIR [--lenient]\n"
       "  market-study  [--csv FILE] [--summary-csv FILE] [--limits S] [--seed S]\n"
       "  extract-pois  --root DIR --user INDEX [--interval S] [--radius M] [--visit MIN]\n"
-      "  audit         --root DIR --user INDEX [--interval S]\n"
-      "  identify      --root DIR --user INDEX [--interval S] [--pattern 1|2]\n"
+      "                [--lenient]\n"
+      "  audit         --root DIR --user INDEX [--interval S] [--lenient]\n"
+      "  identify      --root DIR --user INDEX [--interval S] [--pattern 1|2] [--lenient]\n"
       "  export-geojson --root DIR --user INDEX --out FILE [--interval S]\n"
-      "  report        [--out FILE] [--users N] [--days D]\n";
+      "  report        [--out FILE] [--users N] [--days D]\n"
+      "\n"
+      "--lenient quarantines corrupt .plt files instead of aborting, prints the\n"
+      "ingest report, and exits with code 3 when anything was quarantined.\n";
   return 2;
 }
 
-std::vector<trace::UserTrace> load_dataset(const std::string& root) {
-  auto users = trace::read_geolife_dataset(root);
-  if (users.empty()) throw std::runtime_error("no users found under " + root);
-  return users;
+/// Exit code for a lenient run that had to quarantine files: the command
+/// produced results, but the corpus was incomplete.
+constexpr int kExitQuarantined = 3;
+
+/// A dataset plus the ingest outcome the lenient commands report on.
+struct LoadedDataset {
+  std::vector<trace::UserTrace> users;
+  trace::IngestReport report;
+  bool lenient = false;
+};
+
+void print_ingest_report(const trace::IngestReport& report) {
+  std::cerr << "ingest: " << report.files_scanned << " files scanned, "
+            << report.files_loaded << " loaded, " << report.empty_files
+            << " empty, " << report.quarantined.size() << " quarantined ("
+            << report.users_loaded << " users, " << report.points_loaded
+            << " fixes)\n";
+  for (const auto& bad : report.quarantined)
+    std::cerr << "  quarantined " << bad.path.string() << ": " << bad.error << '\n';
 }
 
-core::PrivacyAnalyzer make_analyzer(const std::string& root) {
-  return core::PrivacyAnalyzer(core::experiment_analyzer_config(), load_dataset(root));
+LoadedDataset load_dataset(const std::string& root, bool lenient) {
+  LoadedDataset loaded;
+  loaded.lenient = lenient;
+  trace::ReadOptions options;
+  options.lenient = lenient;
+  loaded.users = trace::read_geolife_dataset(root, options, &loaded.report);
+  if (lenient) print_ingest_report(loaded.report);
+  if (loaded.users.empty()) throw std::runtime_error("no users found under " + root);
+  return loaded;
+}
+
+/// Maps a command's own exit code through the quarantine signal.
+int finish(int code, const LoadedDataset& loaded) {
+  if (code == 0 && loaded.lenient && !loaded.report.clean()) return kExitQuarantined;
+  return code;
 }
 
 int cmd_gen_dataset(int argc, const char* const* argv) {
@@ -82,11 +114,12 @@ int cmd_gen_dataset(int argc, const char* const* argv) {
 int cmd_dataset_stats(int argc, const char* const* argv) {
   util::Args args;
   args.declare("--root", "");
+  args.declare_bool("--lenient");
   args.parse(argc, argv, 2);
   if (args.get("--root").empty()) return usage();
 
-  const auto users = load_dataset(args.get("--root"));
-  const auto stats = trace::compute_dataset_stats(users);
+  const auto loaded = load_dataset(args.get("--root"), args.get_bool("--lenient"));
+  const auto stats = trace::compute_dataset_stats(loaded.users);
   util::ConsoleTable table({"metric", "value"});
   table.add_row({"users", std::to_string(stats.user_count)});
   table.add_row({"trajectories", std::to_string(stats.trajectory_count)});
@@ -97,7 +130,7 @@ int cmd_dataset_stats(int argc, const char* const* argv) {
                  util::format_percent(stats.high_frequency_fraction, 1)});
   table.add_row({"median interval (s)", util::format_fixed(stats.median_interval_s, 1)});
   table.print(std::cout);
-  return 0;
+  return finish(0, loaded);
 }
 
 int cmd_market_study(int argc, const char* const* argv) {
@@ -144,10 +177,12 @@ int cmd_extract_pois(int argc, const char* const* argv) {
   args.declare("--interval", "1");
   args.declare("--radius", "50");
   args.declare("--visit", "10");
+  args.declare_bool("--lenient");
   args.parse(argc, argv, 2);
   if (args.get("--root").empty()) return usage();
 
-  const auto users = load_dataset(args.get("--root"));
+  const auto loaded = load_dataset(args.get("--root"), args.get_bool("--lenient"));
+  const auto& users = loaded.users;
   const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
   if (user_index >= users.size()) throw std::runtime_error("user index out of range");
 
@@ -174,7 +209,7 @@ int cmd_extract_pois(int argc, const char* const* argv) {
                    util::format_fixed(static_cast<double>(dwell) / 60.0, 0)});
   }
   table.print(std::cout);
-  return 0;
+  return finish(0, loaded);
 }
 
 int cmd_audit(int argc, const char* const* argv) {
@@ -183,10 +218,13 @@ int cmd_audit(int argc, const char* const* argv) {
   args.declare("--user", "0");
   args.declare("--interval", "60");
   args.declare_bool("--json");
+  args.declare_bool("--lenient");
   args.parse(argc, argv, 2);
   if (args.get("--root").empty()) return usage();
 
-  const core::PrivacyAnalyzer analyzer = make_analyzer(args.get("--root"));
+  auto loaded = load_dataset(args.get("--root"), args.get_bool("--lenient"));
+  const core::PrivacyAnalyzer analyzer(core::experiment_analyzer_config(),
+                                       std::move(loaded.users));
   const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
   if (user_index >= analyzer.user_count())
     throw std::runtime_error("user index out of range");
@@ -208,7 +246,7 @@ int cmd_audit(int argc, const char* const* argv) {
     json.member("deg_anonymity_movements", report.anonymity_movements);
     json.end_object();
     std::cout << json.str() << '\n';
-    return 0;
+    return finish(0, loaded);
   }
 
   util::ConsoleTable table({"metric", "value"});
@@ -223,7 +261,7 @@ int cmd_audit(int argc, const char* const* argv) {
   table.add_row(
       {"Deg_anonymity (p2)", util::format_fixed(report.anonymity_movements, 3)});
   table.print(std::cout);
-  return 0;
+  return finish(0, loaded);
 }
 
 int cmd_identify(int argc, const char* const* argv) {
@@ -232,10 +270,13 @@ int cmd_identify(int argc, const char* const* argv) {
   args.declare("--user", "0");
   args.declare("--interval", "1");
   args.declare("--pattern", "2");
+  args.declare_bool("--lenient");
   args.parse(argc, argv, 2);
   if (args.get("--root").empty()) return usage();
 
-  const core::PrivacyAnalyzer analyzer = make_analyzer(args.get("--root"));
+  auto loaded = load_dataset(args.get("--root"), args.get_bool("--lenient"));
+  const core::PrivacyAnalyzer analyzer(core::experiment_analyzer_config(),
+                                       std::move(loaded.users));
   const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
   if (user_index >= analyzer.user_count())
     throw std::runtime_error("user index out of range");
@@ -254,7 +295,7 @@ int cmd_identify(int argc, const char* const* argv) {
               << args.get("--pattern") << ", interval " << args.get("--interval")
               << " s)\n";
   }
-  return 0;
+  return finish(0, loaded);
 }
 
 int cmd_export_geojson(int argc, const char* const* argv) {
@@ -266,7 +307,8 @@ int cmd_export_geojson(int argc, const char* const* argv) {
   args.parse(argc, argv, 2);
   if (args.get("--root").empty() || args.get("--out").empty()) return usage();
 
-  const auto users = load_dataset(args.get("--root"));
+  const auto loaded = load_dataset(args.get("--root"), /*lenient=*/false);
+  const auto& users = loaded.users;
   const auto user_index = static_cast<std::size_t>(args.get_int("--user"));
   if (user_index >= users.size()) throw std::runtime_error("user index out of range");
 
