@@ -95,5 +95,5 @@ int main() {
       "registrations survive) but collapses their sampling rate to the\n"
       "policy interval, pushing every app past the Figure 3 knee. The\n"
       "paper's headline risk is a property of the pre-O platform.\n";
-  return 0;
+  return bench::export_table("android_limits_policy", policy);
 }

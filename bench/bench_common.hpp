@@ -2,13 +2,13 @@
 #pragma once
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/harness/atomic_file.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -40,32 +40,68 @@ inline void print_comparison(const std::string& what, const std::string& paper,
 
 /// Plot-ready series export: when LOCPRIV_CSV_DIR is set, each series named
 /// by the bench is written to <dir>/<name>.csv; otherwise every call is a
-/// no-op, so benches can emit unconditionally.
+/// no-op, so benches can emit unconditionally. Files go through the harness
+/// atomic writer, so the destination only ever holds a complete artifact —
+/// a failed run cannot leave a truncated CSV that looks like data.
 class SeriesCsv {
  public:
-  /// `name` becomes the file stem (e.g. "fig3_poi_frequency").
+  /// `name` becomes the file stem (e.g. "fig3_poi_frequency"). An
+  /// unwritable export directory fails the bench immediately, with the
+  /// path in the message, instead of burning the whole run first.
   explicit SeriesCsv(const std::string& name) {
     const char* dir = std::getenv("LOCPRIV_CSV_DIR");
     if (dir == nullptr || *dir == '\0') return;
     const std::string path = std::string(dir) + "/" + name + ".csv";
-    out_ = std::make_unique<std::ofstream>(path);
-    if (!*out_) {
-      std::cerr << "warning: cannot write " << path << '\n';
-      out_.reset();
-      return;
+    try {
+      writer_ = std::make_unique<harness::AtomicFileWriter>(path);
+    } catch (const Error& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      std::exit(error.exit_code());
     }
-    writer_ = std::make_unique<util::CsvWriter>(*out_);
+    csv_ = std::make_unique<util::CsvWriter>(writer_->stream());
     std::cout << "(series -> " << path << ")\n";
   }
 
+  /// Best-effort publish for benches that never reach commit() (early
+  /// return paths); errors were already printed by commit().
+  ~SeriesCsv() { commit(); }
+
+  SeriesCsv(const SeriesCsv&) = delete;
+  SeriesCsv& operator=(const SeriesCsv&) = delete;
+
   /// Writes one CSV row when export is active.
   void row(const std::vector<std::string>& fields) {
-    if (writer_) writer_->write_row(fields);
+    if (csv_) csv_->write_row(fields);
+  }
+
+  /// Publishes the artifact atomically. Returns a process exit code (0 on
+  /// success; the harness I/O code otherwise, after printing the error), so
+  /// benches end with `return csv.commit();` and a full disk no longer
+  /// exits 0 over a torn file.
+  int commit() {
+    if (!writer_ || writer_->committed()) return 0;
+    try {
+      writer_->commit();
+    } catch (const Error& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return error.exit_code();
+    }
+    return 0;
   }
 
  private:
-  std::unique_ptr<std::ofstream> out_;
-  std::unique_ptr<util::CsvWriter> writer_;
+  std::unique_ptr<harness::AtomicFileWriter> writer_;
+  std::unique_ptr<util::CsvWriter> csv_;
 };
+
+/// Exports a finished console table as <LOCPRIV_CSV_DIR>/<name>.csv through
+/// the atomic writer (no-op without the env var). Returns a process exit
+/// code, 0 on success — benches `return bench::export_table(...)`.
+inline int export_table(const std::string& name, const util::ConsoleTable& table) {
+  SeriesCsv csv(name);
+  csv.row(table.headers());
+  for (const auto& row : table.rows()) csv.row(row);
+  return csv.commit();
+}
 
 }  // namespace locpriv::bench

@@ -49,5 +49,5 @@ int main() {
       "still identify a quarter of the users. The identification column shows\n"
       "which defenses actually break the paper's attack rather than merely\n"
       "blurring the map.\n";
-  return 0;
+  return bench::export_table("defenses", table);
 }

@@ -50,5 +50,5 @@ int main() {
   bench::print_comparison("apps at the largest interval", "1", std::to_string(slowest));
   bench::print_comparison("sample size (background apps)", "102",
                           std::to_string(report.background_intervals.size()));
-  return 0;
+  return csv.commit();
 }

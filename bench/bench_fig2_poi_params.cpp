@@ -58,5 +58,5 @@ int main() {
       "\nPaper shape checks: (i) under the same radius, fewer PoIs as the\n"
       "visiting time grows; (ii) under the same visiting time, more PoIs with\n"
       "the larger radius; (iii) the visiting time dominates the radius.\n";
-  return 0;
+  return bench::export_table("fig2_poi_params", table);
 }

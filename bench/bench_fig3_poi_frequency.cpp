@@ -102,5 +102,5 @@ int main() {
       util::format_percent(complete_app_mass /
                                static_cast<double>(market.background_intervals.size()),
                            1));
-  return 0;
+  return csv.commit();
 }

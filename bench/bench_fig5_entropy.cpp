@@ -78,5 +78,5 @@ int main() {
                    std::to_string(identified_p1), std::to_string(identified_p2)});
   }
   table.print(std::cout);
-  return 0;
+  return bench::export_table("fig5_entropy", table);
 }

@@ -132,7 +132,9 @@ int main() {
          util::format_fixed(episodes / static_cast<double>(users), 1)});
   }
   confusion.print(std::cout);
+  const int homework_rc = bench::export_table("inference_homework", homework);
+  const int confusion_rc = bench::export_table("inference_confusion", confusion);
   std::cout << "\nFast pollers maintain day-long tracking chains; slow pollers\n"
                "fragment into short episodes the adversary cannot stitch.\n";
-  return 0;
+  return homework_rc != 0 ? homework_rc : confusion_rc;
 }

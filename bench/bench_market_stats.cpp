@@ -80,5 +80,5 @@ int main() {
     table.add_row({std::string(market::category_name(per_category[static_cast<std::size_t>(i)].second)),
                    std::to_string(per_category[static_cast<std::size_t>(i)].first)});
   table.print(std::cout);
-  return 0;
+  return bench::export_table("market_stats_categories", table);
 }

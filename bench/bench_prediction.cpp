@@ -92,5 +92,7 @@ int main() {
       "candidate places), and the adversary's position estimate is exact at\n"
       "sub-minute polling. Both collapse once the access interval passes the\n"
       "Figure 3 knee - the same knee that governs PoI recovery.\n";
-  return 0;
+  const int error_rc = bench::export_table("prediction_error", error_table);
+  const int next_rc = bench::export_table("prediction_next_place", prediction_table);
+  return error_rc != 0 ? error_rc : next_rc;
 }

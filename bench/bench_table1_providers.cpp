@@ -53,5 +53,5 @@ int main() {
                           std::to_string(report.background));
   bench::print_comparison("apps able to obtain precise fixes (gps/fused)", "68",
                           std::to_string(report.background_precise));
-  return 0;
+  return bench::export_table("table1_providers", table);
 }

@@ -46,5 +46,5 @@ int main() {
       "16x coarser cells barely blunt unicity - anonymising collected\n"
       "location data post hoc cannot save it, which is why the paper argues\n"
       "for controlling the *collection* instead.\n";
-  return 0;
+  return bench::export_table("uniqueness", table);
 }

@@ -1,0 +1,104 @@
+#include "core/harness/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+
+#include "util/expect.hpp"
+
+namespace locpriv::harness {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::atomic<WriteFault> g_write_fault{WriteFault::kNone};
+
+/// fsyncs the file at `path` through a fresh descriptor (the ofstream API
+/// exposes no fd). Returns false on open/fsync failure with errno set.
+bool fsync_file(const fs::path& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return false;
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
+}
+
+}  // namespace
+
+void set_write_fault_for_testing(WriteFault fault) { g_write_fault.store(fault); }
+
+AtomicFileWriter::AtomicFileWriter(fs::path path) : path_(std::move(path)) {
+  // pid + sequence keep concurrent writers (processes or threads) aimed at
+  // the same destination from clobbering each other's temp file; the last
+  // rename wins, which is the usual last-writer-wins file semantics.
+  static std::atomic<unsigned> sequence{0};
+  temp_path_ = path_;
+  temp_path_ += ".tmp." + std::to_string(::getpid()) + "." +
+                std::to_string(sequence.fetch_add(1));
+  errno = 0;
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_)
+    throw Error(ErrorCode::kIo,
+                "cannot create " + temp_path_.string() + errno_detail());
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_) return;
+  out_.close();
+  std::error_code ignored;
+  fs::remove(temp_path_, ignored);
+}
+
+void AtomicFileWriter::fail(const std::string& action) {
+  const std::string detail = errno_detail();
+  out_.close();
+  std::error_code ignored;
+  fs::remove(temp_path_, ignored);
+  throw Error(ErrorCode::kIo, action + " " + path_.string() + detail);
+}
+
+void AtomicFileWriter::commit() {
+  LOCPRIV_EXPECT(!committed_);
+  const WriteFault fault = g_write_fault.exchange(WriteFault::kNone);
+  errno = 0;
+  out_.flush();
+  if (fault == WriteFault::kFlush) {
+    out_.setstate(std::ios::badbit);
+    errno = ENOSPC;
+  }
+  if (!out_.good()) fail("cannot write");
+  out_.close();
+  if (out_.fail()) fail("cannot write");
+  // The bytes must be durable before the rename publishes the name: rename
+  // is atomic in the namespace, but only fsync makes the content crash-safe.
+  if (!fsync_file(temp_path_)) fail("cannot fsync");
+  if (fault == WriteFault::kRename) {
+    errno = ENOSPC;
+    fail("cannot rename temp file to");
+  }
+  errno = 0;
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0)
+    fail("cannot rename temp file to");
+  committed_ = true;
+  // Best effort: persist the directory entry so the new name survives a
+  // crash. Failure here is not torn data — the rename already happened.
+  const fs::path dir = path_.has_parent_path() ? path_.parent_path() : fs::path(".");
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void write_file_atomic(const fs::path& path, std::string_view content) {
+  AtomicFileWriter writer(path);
+  writer.stream().write(content.data(),
+                        static_cast<std::streamsize>(content.size()));
+  writer.commit();
+}
+
+}  // namespace locpriv::harness

@@ -1,0 +1,69 @@
+// Atomic artifact writer. Content is streamed into a sibling temp file and
+// published with flush -> fsync -> rename(2), so the destination path only
+// ever holds (a) nothing, (b) the complete previous version, or (c) the
+// complete new version — never a torn file that looks like data. Every
+// stream operation is checked; failures raise Error(kIo) with the path and
+// errno text, and leave the destination untouched.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "core/harness/error.hpp"
+
+namespace locpriv::harness {
+
+/// Test-only fault injection points inside AtomicFileWriter::commit().
+enum class WriteFault {
+  kNone,
+  kFlush,   ///< The flush of buffered content fails (simulated ENOSPC).
+  kRename,  ///< The final rename fails (simulated ENOSPC on the directory).
+};
+
+/// Arms a one-shot fault for the next commit() in this process. The torn-
+/// write tests use this to prove a failed publish cannot corrupt the
+/// destination.
+void set_write_fault_for_testing(WriteFault fault);
+
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp.<pid>.<seq>` for writing. Throws Error(kIo) when the
+  /// temp file cannot be created (unwritable or missing directory), so
+  /// artifact problems surface before minutes of compute, not after.
+  explicit AtomicFileWriter(std::filesystem::path path);
+
+  /// Discards the temp file if commit() never ran (or failed): an abandoned
+  /// writer leaves no debris and no partial destination.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The stream to write content through. Errors are latched by the stream
+  /// and checked at commit().
+  std::ostream& stream() { return out_; }
+
+  const std::filesystem::path& path() const { return path_; }
+  bool committed() const { return committed_; }
+
+  /// Publishes the temp file at the destination: flush, check the stream,
+  /// fsync the temp, rename over `path`, then fsync the directory (best
+  /// effort) so the new name survives a crash. Throws Error(kIo) on any
+  /// failure after removing the temp; the destination keeps its previous
+  /// content. Precondition: not yet committed.
+  void commit();
+
+ private:
+  [[noreturn]] void fail(const std::string& action);
+
+  std::filesystem::path path_;
+  std::filesystem::path temp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// One-shot convenience for whole-buffer artifacts: write + commit.
+void write_file_atomic(const std::filesystem::path& path, std::string_view content);
+
+}  // namespace locpriv::harness

@@ -1,0 +1,274 @@
+#include "core/harness/run_ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace locpriv::harness {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kLedgerName = "ledger.jsonl";
+
+/// Cursor-based reader for the two line shapes the ledger writes. This is
+/// not a general JSON parser (the library deliberately has none); it
+/// understands exactly the documents json_escape/JsonWriter produce here.
+class LineReader {
+ public:
+  explicit LineReader(std::string_view line) : line_(line) {}
+
+  bool literal(std::string_view expected) {
+    if (line_.substr(pos_, expected.size()) != expected) return false;
+    pos_ += expected.size();
+    return true;
+  }
+
+  /// Parses a quoted JSON string (cursor on the opening quote), undoing the
+  /// escapes json_escape produces.
+  bool quoted(std::string& out) {
+    if (!literal("\"")) return false;
+    out.clear();
+    while (pos_ < line_.size()) {
+      const char c = line_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= line_.size()) return false;
+      const char escape = line_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > line_.size()) return false;
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = line_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // json_escape only emits \u for control bytes < 0x20.
+          out += static_cast<char>(value);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // Unterminated string.
+  }
+
+  bool unsigned_number(std::uint64_t& out) {
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] >= '0' && line_[pos_] <= '9') ++pos_;
+    if (pos_ == start) return false;
+    long long value = 0;
+    if (!util::parse_int64(line_.substr(start, pos_ - start), value)) return false;
+    out = static_cast<std::uint64_t>(value);
+    return true;
+  }
+
+  bool at_end() const { return pos_ == line_.size(); }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+std::string header_line(const RunInfo& info) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.member("experiment", info.experiment);
+  json.member("seed", info.seed);
+  json.member("scale", info.scale);
+  json.end_object();
+  return json.str();
+}
+
+bool parse_header(std::string_view line, RunInfo& out) {
+  LineReader reader(line);
+  return reader.literal("{\"experiment\":") && reader.quoted(out.experiment) &&
+         reader.literal(",\"seed\":") && reader.unsigned_number(out.seed) &&
+         reader.literal(",\"scale\":") && reader.quoted(out.scale) &&
+         reader.literal("}") && reader.at_end();
+}
+
+bool parse_cell(std::string_view line, std::string& cell,
+                std::vector<std::string>& fields) {
+  LineReader reader(line);
+  if (!reader.literal("{\"cell\":") || !reader.quoted(cell) ||
+      !reader.literal(",\"fields\":["))
+    return false;
+  fields.clear();
+  if (!reader.literal("]")) {
+    while (true) {
+      std::string field;
+      if (!reader.quoted(field)) return false;
+      fields.push_back(std::move(field));
+      if (reader.literal("]")) break;
+      if (!reader.literal(",")) return false;
+    }
+  }
+  return reader.literal("}") && reader.at_end();
+}
+
+}  // namespace
+
+RunLedger::RunLedger(fs::path run_dir, const RunInfo& info) {
+  std::error_code ec;
+  fs::create_directories(run_dir, ec);
+  if (ec)
+    throw Error(ErrorCode::kIo,
+                "cannot create run dir " + run_dir.string() + " (" + ec.message() + ")");
+  path_ = run_dir / kLedgerName;
+
+  std::uint64_t valid_bytes = 0;
+  bool fresh = true;
+  if (fs::exists(path_)) {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+      throw Error(ErrorCode::kIo, "cannot read ledger " + path_.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    replay(buffer.str(), info, valid_bytes);
+    // A ledger whose very first append (the header) was torn truncates to
+    // zero bytes and restarts as a fresh run.
+    fresh = valid_bytes == 0;
+  }
+
+  errno = 0;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0)
+    throw Error(ErrorCode::kIo,
+                "cannot open ledger " + path_.string() + errno_detail());
+  // Drop any torn tail a crash left behind, then continue appending after
+  // the last intact record.
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    const Error error(ErrorCode::kIo,
+                      "cannot truncate ledger " + path_.string() + errno_detail());
+    ::close(fd_);
+    fd_ = -1;
+    throw error;
+  }
+  if (fresh) append_line(header_line(info));
+}
+
+RunLedger::~RunLedger() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RunLedger::replay(const std::string& content, const RunInfo& info,
+                       std::uint64_t& valid_bytes) {
+  valid_bytes = 0;
+  std::size_t pos = 0;
+  std::size_t line_number = 0;
+  bool torn = false;
+  while (pos < content.size()) {
+    const std::size_t newline = content.find('\n', pos);
+    if (newline == std::string::npos) {
+      // No terminator: the process died inside the final append. Everything
+      // before this line is intact; the tail is truncated by the caller.
+      torn = true;
+      break;
+    }
+    const std::string_view line(content.data() + pos, newline - pos);
+    ++line_number;
+    if (line_number == 1) {
+      RunInfo header;
+      if (!parse_header(line, header))
+        throw Error(ErrorCode::kResume,
+                    "ledger " + path_.string() + " has an unreadable header");
+      if (header.experiment != info.experiment || header.seed != info.seed ||
+          header.scale != info.scale)
+        throw Error(ErrorCode::kResume,
+                    "ledger " + path_.string() + " belongs to " +
+                        header.experiment + " seed " + std::to_string(header.seed) +
+                        " scale " + header.scale + ", not " + info.experiment +
+                        " seed " + std::to_string(info.seed) + " scale " + info.scale);
+    } else if (!line.empty()) {
+      std::string cell;
+      std::vector<std::string> fields;
+      if (!parse_cell(line, cell, fields)) {
+        // A malformed line with more intact data after it is real
+        // corruption, not a crash artifact — refuse to guess.
+        if (content.find_first_not_of(" \t\r\n", newline + 1) != std::string::npos)
+          throw Error(ErrorCode::kResume,
+                      "ledger " + path_.string() + " is corrupt at line " +
+                          std::to_string(line_number));
+        torn = true;
+        break;
+      }
+      cells_[cell] = std::move(fields);
+    }
+    pos = newline + 1;
+    valid_bytes = pos;
+  }
+  if (!torn) valid_bytes = content.size();
+}
+
+bool RunLedger::completed(const std::string& cell) const {
+  return cells_.count(cell) != 0;
+}
+
+const std::vector<std::string>* RunLedger::fields(const std::string& cell) const {
+  const auto it = cells_.find(cell);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void RunLedger::record(const std::string& cell,
+                       const std::vector<std::string>& fields) {
+  if (completed(cell))
+    throw Error(ErrorCode::kResume, "cell recorded twice in ledger: " + cell);
+  util::JsonWriter json;
+  json.begin_object();
+  json.member("cell", cell);
+  json.key("fields");
+  json.begin_array();
+  for (const std::string& field : fields) json.value(field);
+  json.end_array();
+  json.end_object();
+  append_line(json.str());
+  cells_[cell] = fields;
+}
+
+void RunLedger::append_line(const std::string& line) {
+  std::string buffer = line;
+  buffer += '\n';
+  // One write(2) per record: a SIGKILL cannot interleave two records, so
+  // the only possible damage is a short tail, which replay() truncates.
+  std::size_t written = 0;
+  while (written < buffer.size()) {
+    errno = 0;
+    const ssize_t n =
+        ::write(fd_, buffer.data() + written, buffer.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorCode::kIo,
+                  "cannot append to ledger " + path_.string() + errno_detail());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  errno = 0;
+  if (::fsync(fd_) != 0)
+    throw Error(ErrorCode::kIo,
+                "cannot fsync ledger " + path_.string() + errno_detail());
+}
+
+}  // namespace locpriv::harness

@@ -1,0 +1,66 @@
+// Journaled checkpoint manifest for long sweep runs. The ledger is one
+// append-only JSONL file (`<run-dir>/ledger.jsonl`): a header line naming
+// the experiment, seed, and scale, then one line per completed sweep cell
+// carrying the cell's serialized result fields. Every append is written in
+// a single write(2) and fsync'd, so after a crash (SIGKILL, OOM-kill,
+// power loss) at most the final line is torn — and a torn tail is detected
+// and truncated on the next open. Reruns that open the same ledger skip
+// completed cells and replay their recorded fields, reproducing the final
+// artifact of an uninterrupted run byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/harness/error.hpp"
+
+namespace locpriv::harness {
+
+/// Identity of a run. A ledger written under one identity refuses to resume
+/// under another (different bench, seed, or corpus scale), so stale run
+/// directories cannot silently contaminate a new campaign.
+struct RunInfo {
+  std::string experiment;  ///< e.g. "bench_fault_degradation".
+  std::uint64_t seed = 0;  ///< The seed every cell derives from.
+  std::string scale;       ///< Free-form corpus descriptor, e.g. "8u3d".
+};
+
+class RunLedger {
+ public:
+  /// Opens (creating if needed) `run_dir/ledger.jsonl`. An existing ledger
+  /// is replayed: the header must match `info` (Error kResume otherwise),
+  /// completed cells are loaded, and a torn trailing line is truncated
+  /// away. Throws Error(kIo) on filesystem failures.
+  RunLedger(std::filesystem::path run_dir, const RunInfo& info);
+  ~RunLedger();
+
+  RunLedger(const RunLedger&) = delete;
+  RunLedger& operator=(const RunLedger&) = delete;
+
+  bool completed(const std::string& cell) const;
+
+  /// The recorded result fields of a completed cell, or nullptr.
+  const std::vector<std::string>* fields(const std::string& cell) const;
+
+  /// Journals a completed cell with its result fields: single write(2) of
+  /// the full line, then fsync. Throws Error(kIo) on failure and
+  /// Error(kResume) if the cell was already recorded (a harness bug).
+  void record(const std::string& cell, const std::vector<std::string>& fields);
+
+  std::size_t completed_count() const { return cells_.size(); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  void replay(const std::string& content, const RunInfo& info,
+              std::uint64_t& valid_bytes);
+  void append_line(const std::string& line);
+
+  std::filesystem::path path_;
+  std::map<std::string, std::vector<std::string>> cells_;
+  int fd_ = -1;
+};
+
+}  // namespace locpriv::harness

@@ -1,0 +1,56 @@
+#include "core/harness/sweep.hpp"
+
+#include <stdexcept>
+
+#include "util/args.hpp"
+
+namespace locpriv::harness {
+
+RunOptions parse_run_options(int argc, const char* const* argv,
+                             std::string stage_name) {
+  util::Args args;
+  args.declare("--run-dir", "");
+  args.declare("--resume", "");
+  args.declare("--heartbeat", "30");
+  args.declare("--soft-deadline", "0");
+  args.declare("--hard-deadline", "0");
+  RunOptions options;
+  try {
+    args.parse(argc, argv, 1);
+    options.stage.heartbeat = std::chrono::seconds(args.get_int("--heartbeat"));
+    options.stage.soft_deadline =
+        std::chrono::seconds(args.get_int("--soft-deadline"));
+    options.stage.hard_deadline =
+        std::chrono::seconds(args.get_int("--hard-deadline"));
+  } catch (const std::runtime_error& error) {
+    throw Error(ErrorCode::kUsage, error.what());
+  }
+  if (!args.get("--run-dir").empty() && !args.get("--resume").empty())
+    throw Error(ErrorCode::kUsage, "--run-dir and --resume are mutually exclusive");
+  if (options.stage.heartbeat.count() < 0 ||
+      options.stage.soft_deadline.count() < 0 ||
+      options.stage.hard_deadline.count() < 0)
+    throw Error(ErrorCode::kUsage, "deadlines and heartbeat must be >= 0 seconds");
+  options.stage.name = std::move(stage_name);
+  if (!args.get("--resume").empty()) {
+    options.run_dir = args.get("--resume");
+    options.resume = true;
+  } else {
+    options.run_dir = args.get("--run-dir");
+  }
+  return options;
+}
+
+std::unique_ptr<RunLedger> open_ledger(const RunOptions& options,
+                                       const RunInfo& info) {
+  if (!options.active()) return nullptr;
+  const auto ledger_path = options.run_dir / "ledger.jsonl";
+  if (!options.resume && std::filesystem::exists(ledger_path))
+    throw Error(ErrorCode::kResume,
+                options.run_dir.string() +
+                    " already holds a ledger; pass --resume to continue that "
+                    "run or choose a fresh --run-dir");
+  return std::make_unique<RunLedger>(options.run_dir, info);
+}
+
+}  // namespace locpriv::harness

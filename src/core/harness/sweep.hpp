@@ -1,0 +1,42 @@
+// Front end tying the harness together for the bench binaries: the shared
+// run-supervision command line, and the policy for opening a run ledger.
+//
+//   --run-dir DIR       checkpointed run; artifacts + ledger land in DIR
+//   --resume DIR        continue a previous run, skipping completed cells
+//   --heartbeat S       progress log cadence in seconds (default 30, 0 = off)
+//   --soft-deadline S   warn when the sweep stage runs longer than S seconds
+//   --hard-deadline S   abort with exit 5 when the stage exceeds S seconds
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/harness/run_ledger.hpp"
+#include "core/harness/watchdog.hpp"
+
+namespace locpriv::harness {
+
+struct RunOptions {
+  std::filesystem::path run_dir;  ///< Empty = unsupervised legacy run.
+  bool resume = false;
+  StageOptions stage;
+
+  /// True when a run directory (fresh or resumed) was requested.
+  bool active() const { return !run_dir.empty(); }
+};
+
+/// Parses the standard harness flags (and nothing else) from a bench
+/// command line. Throws Error(kUsage) on unknown flags or bad values.
+RunOptions parse_run_options(int argc, const char* const* argv,
+                             std::string stage_name);
+
+/// Opens the ledger for a supervised run, or returns nullptr when no run
+/// dir was requested. A fresh `--run-dir` refuses to reuse a directory that
+/// already holds a ledger (Error kResume: pass `--resume` to continue it);
+/// `--resume` accepts both an existing ledger (header must match `info`)
+/// and an empty directory (starts from scratch).
+std::unique_ptr<RunLedger> open_ledger(const RunOptions& options,
+                                       const RunInfo& info);
+
+}  // namespace locpriv::harness

@@ -1,0 +1,73 @@
+// Stage supervision: progress heartbeats plus soft/hard deadlines for the
+// long sweep stages of the bench binaries. The hard deadline is enforced
+// cooperatively — worker loops call checkpoint() once per unit of work and
+// get Error(kDeadline) thrown at them when time is up, which propagates
+// through parallel_for's existing exception aggregation instead of leaving
+// detached threads or a hung process. A background thread only does the
+// talking (heartbeat logs, the soft-deadline warning, the hard-deadline
+// announcement); expiry itself is computed from the monotonic clock, so it
+// does not depend on that thread being scheduled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/harness/error.hpp"
+
+namespace locpriv::harness {
+
+struct StageOptions {
+  std::string name = "stage";
+  /// Cadence of "still alive, N/M units done" info logs; zero disables.
+  std::chrono::milliseconds heartbeat{std::chrono::seconds(30)};
+  /// Past this, one warning is logged; the stage keeps running. Zero = none.
+  std::chrono::milliseconds soft_deadline{0};
+  /// Past this, checkpoint() throws Error(kDeadline). Zero = none.
+  std::chrono::milliseconds hard_deadline{0};
+};
+
+class StageWatchdog {
+ public:
+  explicit StageWatchdog(StageOptions options);
+  ~StageWatchdog();
+
+  StageWatchdog(const StageWatchdog&) = delete;
+  StageWatchdog& operator=(const StageWatchdog&) = delete;
+
+  /// Total work units, for heartbeat "done/total" rendering (0 = unknown).
+  void set_total(std::uint64_t units) { total_.store(units); }
+
+  /// Thread-safe progress bump, called from worker loops.
+  void add_progress(std::uint64_t units = 1) { done_.fetch_add(units); }
+
+  std::uint64_t progress() const { return done_.load(); }
+
+  /// True once the hard deadline has passed.
+  bool expired() const;
+
+  /// Cooperative cancellation point: throws Error(kDeadline) naming the
+  /// stage once the hard deadline has passed, otherwise returns. Safe to
+  /// call concurrently from parallel_for bodies.
+  void checkpoint() const;
+
+  std::chrono::milliseconds elapsed() const;
+
+ private:
+  void watch();
+
+  StageOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace locpriv::harness

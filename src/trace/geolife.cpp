@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/harness/atomic_file.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -208,9 +209,10 @@ void write_geolife_dataset(const fs::path& root, const std::vector<UserTrace>& u
     for (const auto& trajectory : user.trajectories) {
       char name[32];
       std::snprintf(name, sizeof(name), "%06zu.plt", index++);
-      std::ofstream out(trajectory_dir / name, std::ios::binary);
-      if (!out) throw std::runtime_error("cannot write " + (trajectory_dir / name).string());
-      out << write_plt(trajectory);
+      // Atomic publish: a full disk or kill mid-write must not leave a
+      // truncated .plt that a later ingest would parse as a short (but
+      // plausible) trajectory.
+      harness::write_file_atomic(trajectory_dir / name, write_plt(trajectory));
     }
   }
 }

@@ -22,6 +22,11 @@ class ConsoleTable {
   /// Number of data rows added so far.
   std::size_t row_count() const { return rows_.size(); }
 
+  /// The column headers / accumulated rows, e.g. for CSV export of the
+  /// same series the table renders.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders the table (headers, separator, rows) to `out`.
   void print(std::ostream& out) const;
 

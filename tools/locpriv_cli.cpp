@@ -13,6 +13,9 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/harness/atomic_file.hpp"
+#include "core/harness/error.hpp"
+
 #include "core/analyzer.hpp"
 #include "core/experiment.hpp"
 #include "market/catalog.hpp"
@@ -48,7 +51,12 @@ int usage() {
       "  report        [--out FILE] [--users N] [--days D]\n"
       "\n"
       "--lenient quarantines corrupt .plt files instead of aborting, prints the\n"
-      "ingest report, and exits with code 3 when anything was quarantined.\n";
+      "ingest report, and exits with code 3 when anything was quarantined.\n"
+      "\n"
+      "exit codes: 0 ok, 1 internal error, 2 usage, 3 lenient quarantine,\n"
+      "4 artifact I/O failure, 5 deadline exceeded, 6 resume/ledger error.\n"
+      "File artifacts (--csv, --summary-csv, --out, gen-dataset) are written\n"
+      "atomically: on failure the destination keeps its previous content.\n";
   return 2;
 }
 
@@ -156,15 +164,15 @@ int cmd_market_study(int argc, const char* const* argv) {
   table.print(std::cout);
 
   if (!args.get("--csv").empty()) {
-    std::ofstream out(args.get("--csv"));
-    if (!out) throw std::runtime_error("cannot write " + args.get("--csv"));
-    market::write_observations_csv(out, report);
+    harness::AtomicFileWriter out(args.get("--csv"));
+    market::write_observations_csv(out.stream(), report);
+    out.commit();
     std::cout << "observations -> " << args.get("--csv") << '\n';
   }
   if (!args.get("--summary-csv").empty()) {
-    std::ofstream out(args.get("--summary-csv"));
-    if (!out) throw std::runtime_error("cannot write " + args.get("--summary-csv"));
-    market::write_summary_csv(out, report);
+    harness::AtomicFileWriter out(args.get("--summary-csv"));
+    market::write_summary_csv(out.stream(), report);
+    out.commit();
     std::cout << "summary -> " << args.get("--summary-csv") << '\n';
   }
   return 0;
@@ -319,9 +327,9 @@ int cmd_export_geojson(int argc, const char* const* argv) {
   const auto stays = poi::extract_stay_points(points, params);
   const auto pois = poi::cluster_stay_points(stays, params.radius_m);
 
-  std::ofstream out(args.get("--out"));
-  if (!out) throw std::runtime_error("cannot write " + args.get("--out"));
-  out << poi::to_geojson(users[user_index], pois);
+  harness::AtomicFileWriter out(args.get("--out"));
+  out.stream() << poi::to_geojson(users[user_index], pois);
+  out.commit();
   std::cout << "wrote " << users[user_index].trajectories.size()
             << " trajectories and " << pois.size() << " PoIs to "
             << args.get("--out") << '\n';
@@ -342,9 +350,9 @@ int cmd_report(int argc, const char* const* argv) {
     tools::write_reproduction_report(std::cout, options);
     return 0;
   }
-  std::ofstream out(args.get("--out"));
-  if (!out) throw std::runtime_error("cannot write " + args.get("--out"));
-  tools::write_reproduction_report(out, options);
+  harness::AtomicFileWriter out(args.get("--out"));
+  tools::write_reproduction_report(out.stream(), options);
+  out.commit();
   std::cout << "report -> " << args.get("--out") << '\n';
   return 0;
 }
@@ -363,9 +371,14 @@ int main(int argc, char** argv) {
     if (command == "identify") return cmd_identify(argc, argv);
     if (command == "export-geojson") return cmd_export_geojson(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
+  } catch (const Error& error) {
+    // Harness failures carry their own exit code (4 I/O, 5 deadline, ...),
+    // so scripts can distinguish a full disk from a bad user index.
+    std::cerr << "error: " << error.what() << '\n';
+    return error.exit_code();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
-    return 1;
+    return exit_code(ErrorCode::kInternal);
   }
   std::cerr << "unknown command: " << command << "\n";
   return usage();
