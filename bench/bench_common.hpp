@@ -56,6 +56,9 @@ class SeriesCsv {
       writer_ = std::make_unique<harness::AtomicFileWriter>(path);
     } catch (const Error& error) {
       std::cerr << "error: " << error.what() << '\n';
+      // Deliberate fail-fast: an unwritable export dir must stop the bench
+      // before minutes of compute, and bench mains have no outer Error
+      // handler to unwind to. locpriv-lint: allow(exit-call)
       std::exit(error.exit_code());
     }
     csv_ = std::make_unique<util::CsvWriter>(writer_->stream());

@@ -1,0 +1,21 @@
+# Runs the tier-1 suite for the sanitize_smoke target. Invoked at build
+# time (cmake -P), so the sanitizer runtime options are read from the
+# *current* environment — CI exports TSAN_OPTIONS=halt_on_error=1 (or an
+# ASAN_OPTIONS suppressions=... path) right on the ctest invocation, with no
+# reconfigure. execute_process children inherit this environment; the echo
+# below just makes the effective options visible in the build log.
+foreach(option_var TSAN_OPTIONS ASAN_OPTIONS UBSAN_OPTIONS LSAN_OPTIONS)
+  if(DEFINED ENV{${option_var}})
+    message(STATUS "sanitize_smoke: ${option_var}=$ENV{${option_var}}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LOCPRIV_CTEST} --output-on-failure -j
+  WORKING_DIRECTORY ${LOCPRIV_BINARY_DIR}
+  RESULT_VARIABLE smoke_result)
+if(NOT smoke_result EQUAL 0)
+  message(FATAL_ERROR
+    "sanitize_smoke: ctest failed (exit ${smoke_result}; sanitizers: "
+    "${LOCPRIV_SANITIZE})")
+endif()

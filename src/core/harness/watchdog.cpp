@@ -28,7 +28,7 @@ StageWatchdog::StageWatchdog(StageOptions options)
 StageWatchdog::~StageWatchdog() {
   if (!thread_.joinable()) return;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -53,7 +53,11 @@ void StageWatchdog::checkpoint() const {
 }
 
 void StageWatchdog::watch() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Scoped lock for the whole loop; the condition-variable waits release it
+  // atomically. Predicates are re-checked in the loop head instead of being
+  // passed as lambdas, so every stop_ access is visibly under mutex_ for
+  // the thread-safety analysis.
+  const util::MutexLock lock(mutex_);
   auto next_heartbeat = options_.heartbeat.count() > 0
                             ? start_ + options_.heartbeat
                             : Clock::time_point::max();
@@ -66,10 +70,12 @@ void StageWatchdog::watch() {
   while (!stop_) {
     const auto wake = std::min({next_heartbeat, soft_at, hard_at});
     if (wake == Clock::time_point::max()) {
-      cv_.wait(lock, [this] { return stop_; });
-      break;
+      // Nothing left to announce; sleep until the destructor stops us.
+      cv_.wait(mutex_);
+      continue;
     }
-    if (cv_.wait_until(lock, wake, [this] { return stop_; })) break;
+    cv_.wait_until(mutex_, wake);
+    if (stop_) break;
     const auto now = Clock::now();
     if (now >= hard_at) {
       LOCPRIV_LOG(kError, "harness")

@@ -11,13 +11,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "core/harness/error.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace locpriv::harness {
 
@@ -60,13 +60,17 @@ class StageWatchdog {
  private:
   void watch();
 
+  // options_ and start_ are written once in the constructor (before the
+  // logging thread exists) and read-only afterwards; done_/total_ are
+  // atomics. Only the stop flag needs the mutex, and the annotation makes
+  // an unlocked access a compile error under -Wthread-safety.
   StageOptions options_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> done_{0};
   std::atomic<std::uint64_t> total_{0};
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  bool stop_ LOCPRIV_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

@@ -3,14 +3,22 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace locpriv::util {
 
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
-std::mutex g_sink_mutex;
+
+// The sink FILE* is the shared mutable state here: concurrent fprintf calls
+// to the same stream may interleave bytes mid-line, so every emission holds
+// g_sink_mutex. nullptr means "stderr", resolved under the lock, so the
+// stream pointer read and the write it feeds are one critical section.
+Mutex g_sink_mutex;
+std::FILE* g_sink LOCPRIV_GUARDED_BY(g_sink_mutex) = nullptr;
 
 }  // namespace
 
@@ -35,8 +43,9 @@ void log_line(LogLevel level, std::string_view component, std::string_view messa
   const auto secs = std::chrono::duration_cast<std::chrono::milliseconds>(
                         now.time_since_epoch())
                         .count();
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%lld.%03lld] %-5.*s %.*s: %.*s\n",
+  const MutexLock lock(g_sink_mutex);
+  std::FILE* sink = g_sink == nullptr ? stderr : g_sink;
+  std::fprintf(sink, "[%lld.%03lld] %-5.*s %.*s: %.*s\n",
                static_cast<long long>(secs / 1000), static_cast<long long>(secs % 1000),
                static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
                static_cast<int>(component.size()), component.data(),

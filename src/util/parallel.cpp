@@ -59,6 +59,8 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
     } catch (const std::exception& e) {
       LOCPRIV_LOG(kWarn, "parallel")
           << "additional worker exception suppressed: " << e.what();
+      // Secondary failure: logged here, while the primary worker exception
+      // is rethrown below. locpriv-lint: allow(swallowed-catch)
     } catch (...) {
       LOCPRIV_LOG(kWarn, "parallel")
           << "additional non-std worker exception suppressed";

@@ -165,6 +165,7 @@ TEST(RunLedger, TornTailIsTruncatedAndOverwritten) {
   }
   // Simulate a SIGKILL mid-append: a partial record with no newline.
   {
+    // locpriv-lint: allow(raw-write) torn bytes planted on purpose.
     std::ofstream out(dir / "ledger.jsonl", std::ios::binary | std::ios::app);
     out << "{\"cell\":\"cell_c\",\"fi";
   }
@@ -191,6 +192,7 @@ TEST(RunLedger, InteriorCorruptionRefusesToGuess) {
   std::string content = slurp(dir / "ledger.jsonl");
   content += "garbage line\n{\"cell\":\"cell_b\",\"fields\":[\"2\"]}\n";
   {
+    // locpriv-lint: allow(raw-write) interior corruption planted on purpose.
     std::ofstream out(dir / "ledger.jsonl", std::ios::binary | std::ios::trunc);
     out << content;
   }
@@ -274,6 +276,7 @@ TEST(KillAndResume, FinalCsvIsByteIdenticalToUninterruptedRun) {
   EXPECT_EQ(run_mini_sweep(crashed, /*stop_after=*/5), "");
   // ...with the last append torn, as a SIGKILL mid-write(2) would leave it.
   {
+    // locpriv-lint: allow(raw-write) torn tail planted on purpose.
     std::ofstream out(crashed / "ledger.jsonl",
                       std::ios::binary | std::ios::app);
     out << "{\"cell\":\"a1_b2\",\"fie";

@@ -16,8 +16,14 @@ namespace {
 namespace fs = std::filesystem;
 
 /// A three-user dataset on disk; returns its root. The caller owns cleanup.
+/// The directory is keyed by the running test's name: ctest -j runs each
+/// TEST as its own process, and a shared path would let concurrent Ingest
+/// tests remove_all each other's fixtures mid-read.
 fs::path write_fixture_dataset() {
-  const fs::path root = fs::temp_directory_path() / "locpriv_ingest_test";
+  const fs::path root =
+      fs::temp_directory_path() /
+      (std::string("locpriv_ingest_test_") +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name());
   fs::remove_all(root);
 
   std::vector<UserTrace> users(3);
@@ -36,6 +42,8 @@ fs::path write_fixture_dataset() {
 }
 
 void overwrite(const fs::path& path, const std::string& content) {
+  // Fixture corruption on purpose: this test plants exactly the torn and
+  // corrupt files the atomic writer prevents. locpriv-lint: allow(raw-write)
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   ASSERT_TRUE(out) << path;
   out << content;

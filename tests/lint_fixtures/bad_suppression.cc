@@ -1,0 +1,10 @@
+// Fixture: a typo'd rule name in a suppression must itself be reported —
+// otherwise a misspelling silently disables checking.
+#include <fstream>
+#include <string>
+
+void publish(const std::string& path) {
+  // locpriv-lint: allow(raw-writes)
+  std::ofstream out(path);
+  out << "oops";
+}

@@ -1,0 +1,7 @@
+// Fixture: one exit-call violation — library code terminating the process
+// instead of throwing through the error taxonomy.
+#include <cstdlib>
+
+void die_on_bad_config(bool ok) {
+  if (!ok) std::exit(2);
+}

@@ -1,0 +1,10 @@
+// Fixture: the clean twin — a file that defines main() may call exit();
+// thin entry points translate errors to process exit codes.
+#include <cstdlib>
+
+int run();
+
+int main() {
+  if (run() != 0) std::exit(1);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: one nondet-rng violation (random_device seeding).
+#include <random>
+
+unsigned fresh_seed() {
+  std::random_device device;
+  return device();
+}

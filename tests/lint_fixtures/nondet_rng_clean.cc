@@ -1,0 +1,12 @@
+// Fixture: the clean twin — randomness forked from an explicit seed. The
+// message string below mentions time(nullptr) and must not trigger.
+#include <cstdint>
+#include <string>
+
+#include "stats/rng.hpp"
+
+double jitter(std::uint64_t seed) {
+  locpriv::stats::Rng rng(seed);
+  const std::string why = "never reseed from time(nullptr) or std::rand";
+  return rng.uniform() + static_cast<double>(why.size()) * 0.0;
+}

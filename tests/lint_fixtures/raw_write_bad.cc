@@ -1,0 +1,8 @@
+// Fixture: one raw-write violation (the ofstream), nothing else.
+#include <fstream>
+#include <string>
+
+void publish_report(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+}

@@ -1,0 +1,9 @@
+// Fixture: the clean twin — the artifact goes through the atomic writer.
+// Mentioning std::ofstream in this comment must not trigger the rule.
+#include <string>
+
+#include "core/harness/atomic_file.hpp"
+
+void publish_report(const std::string& path, const std::string& body) {
+  locpriv::harness::write_file_atomic(path, body);
+}

@@ -1,0 +1,12 @@
+// Fixture: both suppression placements — a preceding-line comment and a
+// same-line trailing comment — each silencing one raw-write violation.
+#include <fstream>
+#include <string>
+
+void scratch_files(const std::string& a, const std::string& b) {
+  // locpriv-lint: allow(raw-write) scratch file, never published
+  std::ofstream first(a);
+  std::ofstream second(b);  // locpriv-lint: allow(raw-write) scratch too
+  first << "x";
+  second << "y";
+}

@@ -1,0 +1,11 @@
+// Fixture: one swallowed-catch violation — the handler logs and moves on,
+// dropping the exception.
+#include <iostream>
+
+void best_effort(void (*step)()) {
+  try {
+    step();
+  } catch (...) {
+    std::cerr << "step failed, continuing\n";
+  }
+}

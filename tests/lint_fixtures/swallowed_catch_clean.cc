@@ -1,0 +1,21 @@
+// Fixture: the clean twin — catch-all handlers that forward: one stores
+// current_exception for later rethrow, one cleans up and rethrows.
+#include <exception>
+
+std::exception_ptr capture(void (*step)()) {
+  try {
+    step();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+void cleanup_and_rethrow(void (*step)(), void (*cleanup)()) {
+  try {
+    step();
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+}

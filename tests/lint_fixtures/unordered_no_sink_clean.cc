@@ -1,0 +1,10 @@
+// Fixture: an unordered_map is fine when the file has no serialization
+// sink — pure in-memory lookup never leaks iteration order into artifacts.
+#include <string>
+#include <unordered_map>
+
+int lookup(const std::unordered_map<std::string, int>& index,
+           const std::string& key) {
+  const auto it = index.find(key);
+  return it == index.end() ? -1 : it->second;
+}

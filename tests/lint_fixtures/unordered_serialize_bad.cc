@@ -1,0 +1,13 @@
+// Fixture: one unordered-serialize violation — an unordered_map in a file
+// that also writes CSV output, so iteration order can reach the artifact.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/csv.hpp"
+
+void export_counts(locpriv::util::CsvWriter& csv,
+                   const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [key, count] : counts)
+    csv.write_row({key, std::to_string(count)});
+}

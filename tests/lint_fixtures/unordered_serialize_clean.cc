@@ -1,0 +1,12 @@
+// Fixture: the clean twin — ordered map, identical serialization path.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+void export_counts(locpriv::util::CsvWriter& csv,
+                   const std::map<std::string, int>& counts) {
+  for (const auto& [key, count] : counts)
+    csv.write_row({key, std::to_string(count)});
+}

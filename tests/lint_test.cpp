@@ -1,0 +1,138 @@
+// Self-tests for locpriv-lint: every rule's violating fixture is flagged,
+// its clean twin passes, suppressions work in both placements, a typo'd
+// suppression is itself an error, and the live tree is clean (the same
+// invariant the locpriv_lint_tree ctest case enforces via the binary).
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using locpriv::lint::Finding;
+using locpriv::lint::lint_source;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LOCPRIV_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> rule_names(const std::vector<Finding>& findings) {
+  std::vector<std::string> names;
+  for (const Finding& finding : findings) names.push_back(finding.rule);
+  return names;
+}
+
+// Lints a fixture under a neutral library-code label (no path or main()
+// exemptions unless the fixture content itself provides one).
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return lint_source("src/sample.cpp", read_fixture(name));
+}
+
+TEST(LocprivLint, EveryRuleFlagsItsViolationAndAcceptsItsCleanTwin) {
+  const struct {
+    const char* rule;
+    const char* bad;
+    const char* clean;
+  } kCases[] = {
+      {"raw-write", "raw_write_bad.cc", "raw_write_clean.cc"},
+      {"nondet-rng", "nondet_rng_bad.cc", "nondet_rng_clean.cc"},
+      {"unordered-serialize", "unordered_serialize_bad.cc",
+       "unordered_serialize_clean.cc"},
+      {"swallowed-catch", "swallowed_catch_bad.cc", "swallowed_catch_clean.cc"},
+      {"exit-call", "exit_call_bad.cc", "exit_call_clean.cc"},
+  };
+  for (const auto& test_case : kCases) {
+    const auto bad = lint_fixture(test_case.bad);
+    ASSERT_EQ(bad.size(), 1u) << test_case.bad;
+    EXPECT_EQ(bad[0].rule, test_case.rule) << test_case.bad;
+    EXPECT_GT(bad[0].line, 0u) << test_case.bad;
+    EXPECT_EQ(bad[0].file, "src/sample.cpp");
+    EXPECT_TRUE(lint_fixture(test_case.clean).empty()) << test_case.clean;
+  }
+}
+
+TEST(LocprivLint, HarnessDirectoryMayWriteRaw) {
+  // The same violating content is legal under src/core/harness/ — that is
+  // where the atomic-writer implementation itself lives.
+  const std::string content = read_fixture("raw_write_bad.cc");
+  EXPECT_EQ(lint_source("src/sample.cpp", content).size(), 1u);
+  EXPECT_TRUE(lint_source("src/core/harness/sample.cpp", content).empty());
+}
+
+TEST(LocprivLint, UnorderedContainerWithoutSerializationSinkIsClean) {
+  EXPECT_TRUE(lint_fixture("unordered_no_sink_clean.cc").empty());
+}
+
+TEST(LocprivLint, SuppressionWorksOnPrecedingAndSameLine) {
+  EXPECT_TRUE(lint_fixture("suppressed.cc").empty());
+}
+
+TEST(LocprivLint, UnknownRuleInSuppressionIsItselfAnError) {
+  // The typo'd allow() is reported AND fails to suppress, so both findings
+  // surface: nothing about a misspelling quietly disables checking.
+  const auto findings = lint_fixture("bad_suppression.cc");
+  EXPECT_EQ(rule_names(findings),
+            (std::vector<std::string>{"bad-suppression", "raw-write"}));
+  EXPECT_NE(findings[0].message.find("raw-writes"), std::string::npos);
+}
+
+TEST(LocprivLint, CommentsAndStringLiteralsNeverTrigger) {
+  const std::string content =
+      "// std::ofstream in prose; srand(1); exit(2)\n"
+      "/* std::unordered_map<int,int> feeding CsvWriter */\n"
+      "const char* kDoc = \"std::rand and time(nullptr) and catch (...)\";\n"
+      "const char* kRaw = R\"(std::random_device)\";\n";
+  EXPECT_TRUE(lint_source("src/sample.cpp", content).empty());
+}
+
+TEST(LocprivLint, FindingsAreStablyOrderedAndFormatted) {
+  const std::string content =
+      "#include <cstdlib>\n"
+      "void f() { std::exit(1); }\n"
+      "unsigned g() { return std::rand(); }\n";
+  const auto findings = lint_source("src/sample.cpp", content);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "exit-call");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].rule, "nondet-rng");
+  EXPECT_EQ(findings[1].line, 3u);
+  EXPECT_EQ(locpriv::lint::format_text(findings[0]).find("src/sample.cpp:2: [exit-call]"),
+            0u);
+  EXPECT_EQ(locpriv::lint::format_github(findings[0])
+                .find("::error file=src/sample.cpp,line=2,title=locpriv-lint(exit-call)::"),
+            0u);
+}
+
+TEST(LocprivLint, KnownRuleRegistryIsSortedAndComplete) {
+  const auto& rules = locpriv::lint::rules();
+  ASSERT_EQ(rules.size(), 5u);
+  for (std::size_t i = 1; i < rules.size(); ++i)
+    EXPECT_LT(rules[i - 1].name, rules[i].name);
+  for (const auto& rule : rules)
+    EXPECT_TRUE(locpriv::lint::is_known_rule(rule.name));
+  EXPECT_FALSE(locpriv::lint::is_known_rule("bad-suppression"));
+  EXPECT_FALSE(locpriv::lint::is_known_rule("raw-writes"));
+}
+
+TEST(LocprivLint, LiveTreeIsClean) {
+  std::size_t files_scanned = 0;
+  const auto findings = locpriv::lint::lint_tree(LOCPRIV_SOURCE_DIR, &files_scanned);
+  // The repo has well over a hundred sources; a tiny count means the walk
+  // silently missed the tree, which would make this test vacuous.
+  EXPECT_GT(files_scanned, 100u);
+  std::string rendered;
+  for (const Finding& finding : findings)
+    rendered += locpriv::lint::format_text(finding) + "\n";
+  EXPECT_TRUE(findings.empty()) << rendered;
+}
+
+}  // namespace

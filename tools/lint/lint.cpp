@@ -1,0 +1,409 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace locpriv::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Source preprocessing. Rules must not fire on prose: a design comment that
+// mentions std::ofstream, or a log string containing "exit(", is not a
+// violation. split_views() produces two same-shape buffers — `code` with
+// comment and literal contents blanked, `comments` with everything except
+// comment text blanked — so rule regexes run on the former and suppression
+// extraction on the latter, with line numbers preserved in both.
+// ---------------------------------------------------------------------------
+
+struct SourceViews {
+  std::string code;
+  std::string comments;
+};
+
+SourceViews split_views(std::string_view text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  SourceViews views;
+  views.code.assign(text.size(), ' ');
+  views.comments.assign(text.size(), ' ');
+  State state = State::kCode;
+  std::string raw_end;  // ")delim\"" terminator of the active raw string.
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {  // Keep line structure in every view.
+      views.code[i] = '\n';
+      views.comments[i] = '\n';
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;  // Skip the second slash (already blank in both views).
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim". Scan the delimiter.
+          std::size_t j = i + 1;
+          std::string delim;
+          while (j < text.size() && text[j] != '(' && delim.size() < 16)
+            delim.push_back(text[j++]);
+          raw_end = ")" + delim + "\"";
+          state = State::kRawString;
+          views.code[i] = '"';
+        } else if (c == '"') {
+          state = State::kString;
+          views.code[i] = '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          views.code[i] = '\'';
+        } else {
+          views.code[i] = c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        views.comments[i] = c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          ++i;
+        } else {
+          views.comments[i] = c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // Skip the escaped character (stays blank).
+        } else if (c == '"') {
+          views.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          views.code[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && text.compare(i, raw_end.size(), raw_end) == 0) {
+          // Blank the terminator too, minus the closing quote we mirror.
+          i += raw_end.size() - 1;
+          if (i < text.size()) views.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return views;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type begin = 0;
+  while (begin <= text.size()) {
+    const auto end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(begin));
+      break;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kRawWrite = "raw-write";
+constexpr std::string_view kNondetRng = "nondet-rng";
+constexpr std::string_view kUnorderedSerialize = "unordered-serialize";
+constexpr std::string_view kSwallowedCatch = "swallowed-catch";
+constexpr std::string_view kExitCall = "exit-call";
+constexpr std::string_view kBadSuppression = "bad-suppression";
+
+const std::regex& raw_write_re() {
+  static const std::regex re(
+      R"re(\bstd::ofstream\b|\bfopen\s*\(|\bfreopen\s*\(|\bstd::rename\s*\(|\bstd::filesystem::rename\s*\(|\bfs::rename\s*\()re");
+  return re;
+}
+
+const std::regex& nondet_rng_re() {
+  static const std::regex re(
+      R"re(\bstd::rand\b|\brand\s*\(\s*\)|\bsrand\s*\(|\brandom_device\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\))re");
+  return re;
+}
+
+const std::regex& unordered_re() {
+  static const std::regex re(R"re(\bstd::unordered_(map|set|multimap|multiset)\b)re");
+  return re;
+}
+
+// Tokens that mean "this file produces serialized artifacts": the util
+// writers, the bench export helpers, and the harness publish entry points.
+const std::regex& serialize_sink_re() {
+  static const std::regex re(
+      R"re(\b(JsonWriter|CsvWriter|SeriesCsv|export_table|write_file_atomic|AtomicFileWriter|write_plt|csv_escape|json_escape)\b)re");
+  return re;
+}
+
+const std::regex& exit_call_re() {
+  static const std::regex re(R"re(\bexit\s*\(|\bquick_exit\s*\(|\b_Exit\s*\()re");
+  return re;
+}
+
+const std::regex& main_definition_re() {
+  static const std::regex re(R"re(\bint\s+main\s*\()re");
+  return re;
+}
+
+const std::regex& catch_all_re() {
+  static const std::regex re(R"re(catch\s*\(\s*\.\.\.\s*\))re");
+  return re;
+}
+
+// A catch-all handler is fine when it forwards the exception somewhere:
+// rethrow, capture via current_exception, or a deliberate hard stop.
+const std::regex& handler_forwards_re() {
+  static const std::regex re(
+      R"re(\bthrow\b|\bcurrent_exception\b|\brethrow_exception\b|\babort\s*\()re");
+  return re;
+}
+
+const std::regex& suppression_re() {
+  static const std::regex re(R"re(locpriv-lint:\s*allow\(([^)]*)\))re");
+  return re;
+}
+
+bool is_harness_path(std::string_view path) {
+  return std::string(path).find("src/core/harness/") != std::string::npos;
+}
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+struct Suppressions {
+  // line (1-based) -> rules allowed on that line and the following one.
+  std::map<std::size_t, std::vector<std::string>> allowed;
+  std::vector<Finding> errors;  // bad-suppression findings.
+
+  bool covers(std::size_t line, std::string_view rule) const {
+    for (const std::size_t at : {line, line - 1}) {
+      const auto it = allowed.find(at);
+      if (it == allowed.end()) continue;
+      for (const std::string& name : it->second)
+        if (name == rule) return true;
+    }
+    return false;
+  }
+};
+
+Suppressions collect_suppressions(const std::string& path,
+                                  const std::vector<std::string>& comment_lines) {
+  Suppressions result;
+  for (std::size_t i = 0; i < comment_lines.size(); ++i) {
+    const std::size_t line = i + 1;
+    auto begin = std::sregex_iterator(comment_lines[i].begin(), comment_lines[i].end(),
+                                      suppression_re());
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      std::stringstream names((*it)[1].str());
+      std::string name;
+      bool any = false;
+      while (std::getline(names, name, ',')) {
+        name = trim(name);
+        if (name.empty()) continue;
+        any = true;
+        if (is_known_rule(name)) {
+          result.allowed[line].push_back(name);
+        } else {
+          result.errors.push_back(
+              {path, line, std::string(kBadSuppression),
+               "unknown rule '" + name + "' in locpriv-lint suppression"});
+        }
+      }
+      if (!any)
+        result.errors.push_back({path, line, std::string(kBadSuppression),
+                                 "empty locpriv-lint suppression"});
+    }
+  }
+  return result;
+}
+
+// Finds the extent of the {...} block following `from` in `code`; returns
+// the block's contents, or empty when no block opens (e.g. macro trickery —
+// then the conservative answer is "does not forward").
+std::string catch_block(const std::string& code, std::size_t from) {
+  const auto open = code.find('{', from);
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}' && --depth == 0) return code.substr(open + 1, i - open - 1);
+  }
+  return code.substr(open + 1);
+}
+
+std::size_t line_of_offset(const std::vector<std::size_t>& line_starts,
+                           std::size_t offset) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  return static_cast<std::size_t>(it - line_starts.begin());
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kExitCall,
+       "exit()/quick_exit()/_Exit() outside a file that defines main(); throw "
+       "locpriv::Error so destructors run and the exit-code taxonomy applies"},
+      {kNondetRng,
+       "std::rand/srand/random_device/time(nullptr): nondeterministic source "
+       "breaks resume byte-identity; derive randomness from a seeded stats::Rng"},
+      {kRawWrite,
+       "raw std::ofstream/fopen/rename artifact write outside src/core/harness/; "
+       "route artifacts through AtomicFileWriter (torn-write invariant)"},
+      {kSwallowedCatch,
+       "catch (...) that neither rethrows, stores current_exception, nor aborts "
+       "— concurrent failures must never be silently dropped"},
+      {kUnorderedSerialize,
+       "std::unordered_{map,set} in a file that serializes output; iteration "
+       "order is nondeterministic, so artifact bytes can vary run to run"},
+  };
+  return kRules;
+}
+
+bool is_known_rule(std::string_view name) {
+  for (const RuleInfo& rule : rules())
+    if (rule.name == name) return true;
+  return false;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view content) {
+  const SourceViews views = split_views(content);
+  const std::vector<std::string> code_lines = split_lines(views.code);
+  const std::vector<std::string> comment_lines = split_lines(views.comments);
+  const std::string label(path);
+
+  Suppressions suppressions = collect_suppressions(label, comment_lines);
+  std::vector<Finding> findings = std::move(suppressions.errors);
+
+  const bool harness_file = is_harness_path(path);
+  const bool main_file = std::regex_search(views.code, main_definition_re());
+  const bool serializes = std::regex_search(views.code, serialize_sink_re());
+
+  auto add = [&](std::size_t line, std::string_view rule, std::string message) {
+    if (suppressions.covers(line, rule)) return;
+    findings.push_back({label, line, std::string(rule), std::move(message)});
+  };
+
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::size_t line = i + 1;
+    const std::string& code = code_lines[i];
+    if (!harness_file && std::regex_search(code, raw_write_re()))
+      add(line, kRawWrite,
+          "raw file write bypasses the harness atomic writer; use "
+          "AtomicFileWriter/write_file_atomic so a crash cannot publish a torn "
+          "artifact");
+    if (std::regex_search(code, nondet_rng_re()))
+      add(line, kNondetRng,
+          "nondeterministic randomness/time source; derive all randomness from "
+          "a seeded stats::Rng so resumed runs stay byte-identical");
+    if (serializes && std::regex_search(code, unordered_re()))
+      add(line, kUnorderedSerialize,
+          "unordered container in a file that serializes output; use std::map "
+          "or a sorted vector (or suppress after proving contents never reach "
+          "an artifact)");
+    if (!main_file && std::regex_search(code, exit_call_re()))
+      add(line, kExitCall,
+          "exit() outside a main() file skips destructors and the "
+          "locpriv::Error exit-code taxonomy; throw instead");
+  }
+
+  // swallowed-catch needs the handler block, which can span lines.
+  std::vector<std::size_t> line_starts = {0};
+  for (std::size_t i = 0; i < views.code.size(); ++i)
+    if (views.code[i] == '\n') line_starts.push_back(i + 1);
+  auto begin =
+      std::sregex_iterator(views.code.begin(), views.code.end(), catch_all_re());
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const auto offset = static_cast<std::size_t>(it->position());
+    const std::string block = catch_block(views.code, offset + it->length());
+    if (std::regex_search(block, handler_forwards_re())) continue;
+    add(line_of_offset(line_starts, offset), kSwallowedCatch,
+        "catch (...) swallows the exception (handler neither rethrows, stores "
+        "current_exception, nor aborts)");
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const fs::path& file, const std::string& label) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("locpriv-lint: cannot read " + file.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(label, buffer.str());
+}
+
+std::vector<Finding> lint_tree(const fs::path& root, std::size_t* files_scanned) {
+  static constexpr std::string_view kDirs[] = {"src", "bench", "tools", "examples",
+                                               "tests"};
+  std::vector<fs::path> sources;
+  for (const std::string_view dir : kDirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".cpp" || ext == ".hpp") sources.push_back(entry.path());
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  if (files_scanned != nullptr) *files_scanned = sources.size();
+
+  std::vector<Finding> findings;
+  for (const fs::path& source : sources) {
+    const std::string label =
+        source.lexically_relative(root).generic_string();
+    std::vector<Finding> file_findings = lint_file(source, label);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;  // Already (file, line, rule)-ordered: files were sorted.
+}
+
+std::string format_text(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" + finding.rule +
+         "] " + finding.message;
+}
+
+std::string format_github(const Finding& finding) {
+  return "::error file=" + finding.file + ",line=" + std::to_string(finding.line) +
+         ",title=locpriv-lint(" + finding.rule + ")::" + finding.message;
+}
+
+}  // namespace locpriv::lint

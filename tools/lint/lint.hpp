@@ -1,0 +1,84 @@
+// locpriv-lint: machine-checks the repo invariants that PRs 1-2 established
+// by convention. Rules (all scoped to C++ sources under src/ bench/ tools/
+// examples/ tests/):
+//
+//   raw-write           artifact writes must flow through the harness atomic
+//                       writer (src/core/harness/ itself is exempt — it is
+//                       the implementation).
+//   nondet-rng          library randomness must derive from a seeded
+//                       stats::Rng; std::rand / srand / std::random_device /
+//                       time(nullptr) break resume byte-identity.
+//   unordered-serialize unordered containers in a file that also serializes
+//                       output: iteration order is nondeterministic, so the
+//                       artifact bytes can vary run to run.
+//   swallowed-catch     `catch (...)` whose handler neither rethrows, stores
+//                       std::current_exception, nor aborts.
+//   exit-call           exit() outside a file that defines main() skips
+//                       destructors and the locpriv::Error exit-code
+//                       taxonomy.
+//
+// Escape hatch: a comment of the form `locpriv-lint: allow(raw-write)` —
+// one or more comma-separated rule names — suppresses those rules on its
+// own line and the following line. A rule name the checker does not know is
+// itself reported (rule "bad-suppression"), so a typo cannot silently
+// disable checking.
+//
+// Findings are file:line:rule triples with stable ordering, so CI diffs and
+// GitHub annotations stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locpriv::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// The suppressible rules, sorted by name.
+const std::vector<RuleInfo>& rules();
+
+/// True when `name` names a suppressible rule.
+bool is_known_rule(std::string_view name);
+
+/// Lints one translation unit held in memory. `path` labels the findings
+/// and drives path-scoped exemptions (raw writes are legal under
+/// src/core/harness/); content-scoped exemptions (exit() in a main() file)
+/// come from `content` itself. Findings are sorted by (line, rule).
+std::vector<Finding> lint_source(std::string_view path, std::string_view content);
+
+/// Reads and lints one file; `label` (usually the repo-relative path) is
+/// used for findings and exemptions. Throws std::runtime_error when the
+/// file cannot be read.
+std::vector<Finding> lint_file(const std::filesystem::path& file,
+                               const std::string& label);
+
+/// Walks the checked directories (src bench tools examples tests) under
+/// `root` for .cpp/.hpp sources and lints each. `.cc` is deliberately not
+/// picked up: the lint-test fixtures under tests/lint_fixtures/ use that
+/// extension so the live-tree scan stays clean while the fixtures still get
+/// linted explicitly by the self-tests. Findings are sorted by
+/// (file, line, rule); `files_scanned`, when non-null, receives the number
+/// of sources visited.
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               std::size_t* files_scanned = nullptr);
+
+/// "file:line: [rule] message" — the stable text format.
+std::string format_text(const Finding& finding);
+
+/// GitHub Actions workflow-command format (one `::error` annotation).
+std::string format_github(const Finding& finding);
+
+}  // namespace locpriv::lint

@@ -1,0 +1,95 @@
+// locpriv_lint CLI: scans the repo (or explicit paths) for invariant
+// violations and prints stable file:line:rule findings.
+//
+//   locpriv_lint --root <repo>              # scan src bench tools examples tests
+//   locpriv_lint file.cpp dir/              # scan explicit paths instead
+//   locpriv_lint --format github            # emit ::error workflow commands
+//   locpriv_lint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <iterator>
+#include <stdexcept>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using locpriv::lint::Finding;
+
+void collect_path(const fs::path& path, std::vector<fs::path>* files) {
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".cc") files->push_back(entry.path());
+    }
+    return;
+  }
+  if (!fs::exists(path))
+    throw std::runtime_error("locpriv-lint: no such path: " + path.string());
+  files->push_back(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  locpriv::util::Args args;
+  args.declare("--root", ".");
+  args.declare("--format", "text");
+  args.declare_bool("--list-rules");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "locpriv-lint: " << error.what() << '\n';
+    return 2;
+  }
+
+  if (args.get_bool("--list-rules")) {
+    for (const auto& rule : locpriv::lint::rules())
+      std::cout << rule.name << "\n    " << rule.summary << "\n";
+    return 0;
+  }
+
+  const std::string format = args.get("--format");
+  if (format != "text" && format != "github") {
+    std::cerr << "locpriv-lint: unknown --format '" << format
+              << "' (expected text or github)\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  try {
+    if (args.positional().empty()) {
+      findings = locpriv::lint::lint_tree(args.get("--root"), &files_scanned);
+    } else {
+      std::vector<fs::path> files;
+      for (const std::string& path : args.positional()) collect_path(path, &files);
+      std::sort(files.begin(), files.end());
+      files_scanned = files.size();
+      for (const fs::path& file : files) {
+        auto file_findings = locpriv::lint::lint_file(file, file.generic_string());
+        findings.insert(findings.end(),
+                        std::make_move_iterator(file_findings.begin()),
+                        std::make_move_iterator(file_findings.end()));
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 2;
+  }
+
+  for (const Finding& finding : findings)
+    std::cout << (format == "github" ? locpriv::lint::format_github(finding)
+                                     : locpriv::lint::format_text(finding))
+              << '\n';
+  std::cerr << "locpriv-lint: " << findings.size() << " finding(s) in "
+            << files_scanned << " file(s)\n";
+  return findings.empty() ? 0 : 1;
+}
