@@ -14,8 +14,12 @@
 // `--resume DIR` skips the completed cells and produces a final CSV byte-
 // identical to an uninterrupted run. `--heartbeat/--soft-deadline/
 // --hard-deadline` supervise the sweep stage; a blown hard deadline aborts
-// with exit 5 through parallel_for's exception aggregation instead of
-// hanging.
+// with exit 5. Under `--isolate` each cell attempt runs in a forked,
+// rlimit-capped child supervised by harness::Supervisor: a segfaulting,
+// hanging, or memory-bombing cell is retried with deterministic backoff and
+// finally quarantined (exit 3) while the rest of the sweep completes.
+// `--fault-cells crash@i0.50_t60,...` injects process-level faults for
+// exercising exactly that path.
 //
 // Output: one row per (intensity, interval) pair, averaged over users, as a
 // console table, a CSV block on stdout, atomically written CSV/JSON
@@ -24,6 +28,7 @@
 // produce identical bytes.
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "android/fused.hpp"
@@ -31,9 +36,12 @@
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
 #include "core/harness/run_ledger.hpp"
+#include "core/harness/supervisor.hpp"
 #include "core/harness/sweep.hpp"
 #include "core/harness/watchdog.hpp"
 #include "sim/faults/injector.hpp"
+#include "sim/faults/process_plan.hpp"
+#include "util/args.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 
@@ -187,7 +195,6 @@ SweepRow compute_cell(const core::PrivacyAnalyzer& analyzer, double intensity,
     slot.poi_sensitive = report.poi_sensitive.fraction();
     slot.hisbin_rate = report.breach_detected() ? 1.0 : 0.0;
     slot.anonymity = report.anonymity_movements;
-    watchdog.add_progress();
   });
 
   SweepRow row;
@@ -218,8 +225,25 @@ SweepRow compute_cell(const core::PrivacyAnalyzer& analyzer, double intensity,
 }
 
 int run(int argc, char** argv) {
-  const harness::RunOptions options =
-      harness::parse_run_options(argc, argv, "fault sweep");
+  util::Args args;
+  harness::declare_run_flags(args);
+  args.declare("--fault-cells", "");
+  harness::RunOptions options;
+  sim::ProcessFaultPlan fault_plan;
+  try {
+    args.parse(argc, argv, 1);
+    fault_plan = sim::ProcessFaultPlan::parse(args.get("--fault-cells"));
+  } catch (const std::runtime_error& error) {
+    throw Error(ErrorCode::kUsage, error.what());
+  }
+  options = harness::run_options_from(args, "fault sweep");
+  if (!options.active() &&
+      (options.supervisor.isolate || options.supervisor.workers > 1))
+    throw Error(ErrorCode::kUsage,
+                "--isolate/--workers need a journal to report into; pass "
+                "--run-dir or --resume");
+  options.supervisor.backoff_seed = core::kDatasetSeed;
+
   bench::print_header("fault degradation: leakage metrics vs substrate faults",
                       /*uses_mobility_corpus=*/false);
 
@@ -237,33 +261,58 @@ int run(int argc, char** argv) {
 
   const harness::RunInfo run_info{
       "bench_fault_degradation", core::kDatasetSeed,
-      std::to_string(kUserCount) + "u" + std::to_string(kDays) + "d"};
+      std::to_string(kUserCount) + "u" + std::to_string(kDays) + "d",
+      options.mode_string()};
   const std::unique_ptr<harness::RunLedger> ledger =
       harness::open_ledger(options, run_info);
-  const std::size_t cell_count =
-      std::size(kIntensities) * std::size(kIntervals);
+
+  // Enumerate the sweep once; every downstream consumer (dispatch, row
+  // assembly, artifacts) walks this order, so artifact bytes do not depend
+  // on which worker finished first.
+  std::vector<std::pair<double, std::int64_t>> cell_specs;
+  std::vector<std::string> cell_keys;
+  for (const double intensity : kIntensities)
+    for (const std::int64_t interval_s : kIntervals) {
+      cell_specs.emplace_back(intensity, interval_s);
+      cell_keys.push_back(cell_key(intensity, interval_s));
+    }
+  const std::size_t cell_count = cell_keys.size();
   if (ledger != nullptr && ledger->completed_count() > 0)
     std::cout << "resume: " << ledger->completed_count() << "/" << cell_count
               << " cells already journaled in " << ledger->path().string()
               << "\n\n";
 
   harness::StageWatchdog watchdog(options.stage);
-  watchdog.set_total(cell_count * analyzer.user_count());
+  watchdog.set_total(cell_count);
+  if (ledger != nullptr) watchdog.add_progress(ledger->completed_count());
 
+  const harness::CellFn cell_fn = [&](std::size_t index, const std::string& key,
+                                      int attempt) {
+    // Injected process faults fire first: crash/hang take the child down
+    // before any work, the alloc bomb dies against the cell rlimit.
+    fault_plan.trigger(key, attempt);
+    const auto [intensity, interval_s] = cell_specs[index];
+    return csv_fields(compute_cell(analyzer, intensity, interval_s, watchdog));
+  };
+
+  std::vector<std::string> quarantined;
   std::vector<SweepRow> rows;
-  for (const double intensity : kIntensities) {
-    for (const std::int64_t interval_s : kIntervals) {
-      const std::string key = cell_key(intensity, interval_s);
-      if (ledger != nullptr && ledger->completed(key)) {
-        rows.push_back(parse_fields(*ledger->fields(key)));
-        watchdog.add_progress(analyzer.user_count());
-        continue;
-      }
-      const SweepRow computed =
-          compute_cell(analyzer, intensity, interval_s, watchdog);
-      const std::vector<std::string> fields = csv_fields(computed);
-      if (ledger != nullptr) ledger->record(key, fields);
+  if (ledger != nullptr) {
+    harness::Supervisor supervisor(options.supervisor);
+    const harness::SupervisorOutcome outcome =
+        supervisor.run(cell_keys, cell_fn, *ledger, &watchdog);
+    quarantined = outcome.quarantined;
+    // Rows assemble from the ledger in enumeration order — computed,
+    // replayed, and isolated cells are indistinguishable here, which is the
+    // byte-identity argument. Quarantined cells are simply absent.
+    for (const std::string& key : cell_keys)
+      if (const auto* fields = ledger->fields(key); fields != nullptr)
+        rows.push_back(parse_fields(*fields));
+  } else {
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      const std::vector<std::string> fields = cell_fn(i, cell_keys[i], 1);
       rows.push_back(parse_fields(fields));
+      watchdog.add_progress();
     }
   }
 
@@ -334,6 +383,21 @@ int run(int argc, char** argv) {
     const std::string path = std::string(dir) + "/fault_degradation.json";
     harness::write_file_atomic(path, render_json());
     std::cout << "(json -> " << path << ")\n";
+  }
+
+  if (!quarantined.empty()) {
+    std::cout << "\nquarantined cells (" << quarantined.size() << "/"
+              << cell_count << "):\n";
+    for (const std::string& key : quarantined) {
+      std::cout << "  " << key << "\n";
+      if (const auto* details = ledger->quarantine_details(key);
+          details != nullptr)
+        for (const std::string& detail : *details)
+          std::cout << "    " << detail << "\n";
+    }
+    std::cout << "(rerun with --resume " << options.run_dir.string()
+              << " to retry them)\n";
+    return exit_code(ErrorCode::kQuarantined);
   }
   return artifact_rc;
 }

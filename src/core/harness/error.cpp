@@ -13,6 +13,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kIo: return "io_error";
     case ErrorCode::kDeadline: return "deadline_exceeded";
     case ErrorCode::kResume: return "resume_error";
+    case ErrorCode::kInterrupted: return "interrupted";
   }
   return "unknown_error";
 }

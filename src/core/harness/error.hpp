@@ -19,10 +19,11 @@ namespace locpriv {
 enum class ErrorCode : int {
   kInternal = 1,     ///< Unexpected failure (catch-all for std::exception).
   kUsage = 2,        ///< Bad command line.
-  kQuarantined = 3,  ///< Lenient ingest quarantined files (results partial).
+  kQuarantined = 3,  ///< Lenient ingest / sweep cells quarantined (results partial).
   kIo = 4,           ///< Artifact / ledger I/O failure (ENOSPC, EPERM, ...).
   kDeadline = 5,     ///< A stage exceeded its hard deadline.
   kResume = 6,       ///< Resume mismatch or corrupt run ledger.
+  kInterrupted = 7,  ///< SIGINT/SIGTERM: run stopped cleanly, resumable.
 };
 
 /// Short stable tag for a code ("io_error", "deadline_exceeded", ...).

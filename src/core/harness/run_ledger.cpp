@@ -97,24 +97,32 @@ std::string header_line(const RunInfo& info) {
   json.member("experiment", info.experiment);
   json.member("seed", info.seed);
   json.member("scale", info.scale);
+  json.member("mode", info.mode);
   json.end_object();
   return json.str();
 }
 
 bool parse_header(std::string_view line, RunInfo& out) {
   LineReader reader(line);
-  return reader.literal("{\"experiment\":") && reader.quoted(out.experiment) &&
-         reader.literal(",\"seed\":") && reader.unsigned_number(out.seed) &&
-         reader.literal(",\"scale\":") && reader.quoted(out.scale) &&
-         reader.literal("}") && reader.at_end();
+  if (!(reader.literal("{\"experiment\":") && reader.quoted(out.experiment) &&
+        reader.literal(",\"seed\":") && reader.unsigned_number(out.seed) &&
+        reader.literal(",\"scale\":") && reader.quoted(out.scale)))
+    return false;
+  // Ledgers from before mode pinning end right after the scale; they were
+  // all written by the single-threaded in-process path.
+  if (reader.literal(",\"mode\":")) {
+    if (!reader.quoted(out.mode)) return false;
+  } else {
+    out.mode = "inproc-w1";
+  }
+  return reader.literal("}") && reader.at_end();
 }
 
-bool parse_cell(std::string_view line, std::string& cell,
-                std::vector<std::string>& fields) {
-  LineReader reader(line);
-  if (!reader.literal("{\"cell\":") || !reader.quoted(cell) ||
-      !reader.literal(",\"fields\":["))
-    return false;
+/// Parses the cell-shaped body shared by completed and quarantine lines:
+/// `"<key>","fields":[...]}` after the opening `{"cell":` / `{"quarantine":`.
+bool parse_keyed_fields(LineReader& reader, std::string& cell,
+                        std::vector<std::string>& fields) {
+  if (!reader.quoted(cell) || !reader.literal(",\"fields\":[")) return false;
   fields.clear();
   if (!reader.literal("]")) {
     while (true) {
@@ -126,6 +134,32 @@ bool parse_cell(std::string_view line, std::string& cell,
     }
   }
   return reader.literal("}") && reader.at_end();
+}
+
+bool parse_cell(std::string_view line, std::string& cell,
+                std::vector<std::string>& fields) {
+  LineReader reader(line);
+  return reader.literal("{\"cell\":") && parse_keyed_fields(reader, cell, fields);
+}
+
+bool parse_quarantine(std::string_view line, std::string& cell,
+                      std::vector<std::string>& fields) {
+  LineReader reader(line);
+  return reader.literal("{\"quarantine\":") &&
+         parse_keyed_fields(reader, cell, fields);
+}
+
+std::string keyed_fields_line(std::string_view kind, const std::string& cell,
+                              const std::vector<std::string>& fields) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.member(kind, cell);
+  json.key("fields");
+  json.begin_array();
+  for (const std::string& field : fields) json.value(field);
+  json.end_array();
+  json.end_object();
+  return json.str();
 }
 
 }  // namespace
@@ -202,10 +236,21 @@ void RunLedger::replay(const std::string& content, const RunInfo& info,
                         header.experiment + " seed " + std::to_string(header.seed) +
                         " scale " + header.scale + ", not " + info.experiment +
                         " seed " + std::to_string(info.seed) + " scale " + info.scale);
+      if (header.mode != info.mode)
+        throw Error(ErrorCode::kResume,
+                    "ledger " + path_.string() + " was written by execution mode " +
+                        header.mode + ", not " + info.mode +
+                        "; rerun with the original --isolate/--workers settings "
+                        "or start a fresh --run-dir");
     } else if (!line.empty()) {
       std::string cell;
       std::vector<std::string> fields;
-      if (!parse_cell(line, cell, fields)) {
+      if (parse_cell(line, cell, fields)) {
+        quarantine_.erase(cell);
+        cells_[cell] = std::move(fields);
+      } else if (parse_quarantine(line, cell, fields)) {
+        quarantine_[cell] = std::move(fields);
+      } else {
         // A malformed line with more intact data after it is real
         // corruption, not a crash artifact — refuse to guess.
         if (content.find_first_not_of(" \t\r\n", newline + 1) != std::string::npos)
@@ -215,7 +260,6 @@ void RunLedger::replay(const std::string& content, const RunInfo& info,
         torn = true;
         break;
       }
-      cells_[cell] = std::move(fields);
     }
     pos = newline + 1;
     valid_bytes = pos;
@@ -236,16 +280,42 @@ void RunLedger::record(const std::string& cell,
                        const std::vector<std::string>& fields) {
   if (completed(cell))
     throw Error(ErrorCode::kResume, "cell recorded twice in ledger: " + cell);
-  util::JsonWriter json;
-  json.begin_object();
-  json.member("cell", cell);
-  json.key("fields");
-  json.begin_array();
-  for (const std::string& field : fields) json.value(field);
-  json.end_array();
-  json.end_object();
-  append_line(json.str());
+  append_line(keyed_fields_line("cell", cell, fields));
+  quarantine_.erase(cell);
   cells_[cell] = fields;
+}
+
+void RunLedger::record_quarantine(const std::string& cell,
+                                  const std::vector<std::string>& details) {
+  if (completed(cell))
+    throw Error(ErrorCode::kResume,
+                "cell quarantined after completion in ledger: " + cell);
+  append_line(keyed_fields_line("quarantine", cell, details));
+  quarantine_[cell] = details;
+}
+
+bool RunLedger::quarantined(const std::string& cell) const {
+  return cells_.count(cell) == 0 && quarantine_.count(cell) != 0;
+}
+
+const std::vector<std::string>* RunLedger::quarantine_details(
+    const std::string& cell) const {
+  if (!quarantined(cell)) return nullptr;
+  return &quarantine_.at(cell);
+}
+
+std::vector<std::string> RunLedger::quarantined_cells() const {
+  std::vector<std::string> cells;
+  for (const auto& [cell, details] : quarantine_)
+    if (cells_.count(cell) == 0) cells.push_back(cell);
+  return cells;
+}
+
+void RunLedger::sync() {
+  errno = 0;
+  if (fd_ >= 0 && ::fsync(fd_) != 0)
+    throw Error(ErrorCode::kIo,
+                "cannot fsync ledger " + path_.string() + errno_detail());
 }
 
 void RunLedger::append_line(const std::string& line) {

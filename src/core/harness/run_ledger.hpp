@@ -20,12 +20,17 @@
 namespace locpriv::harness {
 
 /// Identity of a run. A ledger written under one identity refuses to resume
-/// under another (different bench, seed, or corpus scale), so stale run
-/// directories cannot silently contaminate a new campaign.
+/// under another (different bench, seed, corpus scale, or execution mode),
+/// so stale run directories cannot silently contaminate a new campaign and
+/// a resume cannot silently switch between isolated and in-process
+/// execution or a different worker count.
 struct RunInfo {
   std::string experiment;  ///< e.g. "bench_fault_degradation".
   std::uint64_t seed = 0;  ///< The seed every cell derives from.
   std::string scale;       ///< Free-form corpus descriptor, e.g. "8u3d".
+  /// Execution mode descriptor, e.g. "inproc-w1" or "isolate-w4". Ledgers
+  /// written before mode pinning existed replay as "inproc-w1".
+  std::string mode = "inproc-w1";
 };
 
 class RunLedger {
@@ -48,9 +53,34 @@ class RunLedger {
   /// Journals a completed cell with its result fields: single write(2) of
   /// the full line, then fsync. Throws Error(kIo) on failure and
   /// Error(kResume) if the cell was already recorded (a harness bug).
+  /// A completed cell supersedes any earlier quarantine record for it.
   void record(const std::string& cell, const std::vector<std::string>& fields);
 
+  /// Journals a structured failure record for a cell the supervisor gave up
+  /// on (same fsync'd single-write discipline). `details` carries one entry
+  /// per attempt ("signal 11 (SIGSEGV): ...", "exit 1: ..."). Re-recording
+  /// the same cell overwrites the in-memory entry (a resumed run may try —
+  /// and fail — again); replay keeps the latest line.
+  void record_quarantine(const std::string& cell,
+                         const std::vector<std::string>& details);
+
+  /// True when the cell's latest state is "quarantined" (a later completed
+  /// record supersedes quarantine).
+  bool quarantined(const std::string& cell) const;
+
+  /// The journaled failure details of a quarantined cell, or nullptr.
+  const std::vector<std::string>* quarantine_details(const std::string& cell) const;
+
   std::size_t completed_count() const { return cells_.size(); }
+
+  /// Quarantined cells (latest-state view), sorted by key.
+  std::vector<std::string> quarantined_cells() const;
+
+  /// Forces the journal to stable storage. Every append already fsyncs;
+  /// this exists so a graceful-shutdown path can make the guarantee
+  /// explicit before the process exits. Throws Error(kIo) on failure.
+  void sync();
+
   const std::filesystem::path& path() const { return path_; }
 
  private:
@@ -60,6 +90,7 @@ class RunLedger {
 
   std::filesystem::path path_;
   std::map<std::string, std::vector<std::string>> cells_;
+  std::map<std::string, std::vector<std::string>> quarantine_;
   int fd_ = -1;
 };
 

@@ -1,0 +1,125 @@
+// Process-isolated supervised execution of sweep cells. A Supervisor runs
+// each cell either in-process (the historical path, now with work-stealing
+// dispatch and retry/quarantine bookkeeping) or — under --isolate — in a
+// forked child per attempt, so a segfault, runaway allocation, or busy-hang
+// in one cell cannot take down the run. Children are capped with
+// setrlimit(2) (RLIMIT_AS, RLIMIT_CPU) and a preemptive wall-clock deadline
+// (SIGTERM, a grace period, then SIGKILL); results travel back over a pipe
+// as length-prefixed field frames and land in the same RunLedger /
+// AtomicFileWriter path as in-process runs, so isolated, resumed, and
+// in-process executions of the same sweep produce byte-identical artifacts.
+//
+// Failed attempts retry with deterministic exponential backoff (jitter is
+// derived from the run seed and cell key, never from wall-clock entropy).
+// A cell that exhausts its attempts is *quarantined*: a structured failure
+// record (signal, exit code, rlimit/deadline classification, stderr tail
+// per attempt) is journaled to the ledger, the rest of the sweep proceeds,
+// and the run completes with ErrorCode::kQuarantined (exit 3).
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: dispatch stops, running
+// children are terminated and reaped, the ledger is fsync'd, and run()
+// throws Error(kInterrupted) (exit 7) — the run directory is left in a
+// clean resumable state.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/harness/error.hpp"
+#include "core/harness/run_ledger.hpp"
+#include "core/harness/watchdog.hpp"
+
+namespace locpriv::harness {
+
+struct SupervisorOptions {
+  /// Concurrent cells (forked children under isolate, threads otherwise).
+  unsigned workers = 1;
+  /// Fork one child per cell attempt instead of running in-process.
+  bool isolate = false;
+  /// RLIMIT_AS for each child, in MiB; 0 leaves the limit untouched.
+  /// Ignored in-process (rlimits are per-process, not per-thread).
+  std::size_t cell_rlimit_mb = 0;
+  /// RLIMIT_CPU (seconds of CPU time) for each child; 0 leaves it untouched.
+  unsigned cell_cpu_s = 0;
+  /// Preemptive wall-clock deadline per attempt; past it the child gets
+  /// SIGTERM, then SIGKILL after `term_grace`. 0 disables. Isolate only —
+  /// threads cannot be preempted safely.
+  std::chrono::milliseconds cell_deadline{0};
+  /// How long a SIGTERM'd child may linger before SIGKILL.
+  std::chrono::milliseconds term_grace{2000};
+  /// Attempts per cell before quarantine (>= 1).
+  int max_attempts = 3;
+  /// Base of the exponential backoff between attempts; retry attempt k
+  /// (k >= 2) waits base * 2^(k-2) plus deterministic jitter in [0, base).
+  std::chrono::milliseconds backoff_base{100};
+  /// Seed for the backoff jitter, normally the run seed: identical runs
+  /// schedule identical retries.
+  std::uint64_t backoff_seed = 0;
+  /// Bytes of each attempt's captured stderr kept in the quarantine record.
+  std::size_t stderr_tail = 512;
+};
+
+/// Computes one cell attempt and returns its serialized result fields (the
+/// exact strings RunLedger journals and the artifact writers consume).
+/// Under isolate the call runs in a forked child. Throwing std::exception
+/// marks the attempt failed (retry, then quarantine); throwing Error is
+/// treated the same way except in-process, where harness-level codes
+/// (kDeadline, kIo, ...) propagate and abort the run.
+using CellFn = std::function<std::vector<std::string>(
+    std::size_t index, const std::string& key, int attempt)>;
+
+struct SupervisorOutcome {
+  /// Cells computed this run (resumed cells replayed from the ledger are
+  /// not counted).
+  std::size_t computed = 0;
+  /// Cells quarantined this run, in sweep order.
+  std::vector<std::string> quarantined;
+};
+
+/// The deterministic retry delay before attempt `attempt` (2-based: the
+/// first retry) of `cell`: exponential in the attempt number with jitter
+/// derived from (backoff_seed, cell, attempt) via splitmix64. Exposed for
+/// tests; no wall-clock or hardware entropy is involved.
+std::chrono::milliseconds backoff_delay(const SupervisorOptions& options,
+                                        const std::string& cell, int attempt);
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+
+  /// Runs every not-yet-completed cell of `cells` through `fn`, journaling
+  /// successes and quarantines to `ledger`. Cells already completed in the
+  /// ledger are skipped (resume); previously quarantined cells are retried.
+  /// `watchdog`, when given, receives progress ticks and its hard deadline
+  /// is enforced even over non-cooperative children (they are SIGKILLed and
+  /// Error(kDeadline) is thrown). Throws Error(kInterrupted) after a clean
+  /// shutdown on SIGINT/SIGTERM. Installs its own SIGINT/SIGTERM handlers
+  /// for the duration of the call and restores the previous ones on exit.
+  SupervisorOutcome run(const std::vector<std::string>& cells, const CellFn& fn,
+                        RunLedger& ledger, StageWatchdog* watchdog = nullptr);
+
+  /// Async-signal-safe shutdown request; the signal-number argument makes it
+  /// directly installable as a handler. Tests may call it to simulate ^C.
+  static void request_shutdown(int signal);
+
+  /// True once a shutdown has been requested (cleared at the top of run()).
+  static bool shutdown_requested();
+
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  SupervisorOutcome run_isolated(const std::vector<std::string>& cells,
+                                 const CellFn& fn, RunLedger& ledger,
+                                 StageWatchdog* watchdog);
+  SupervisorOutcome run_in_process(const std::vector<std::string>& cells,
+                                   const CellFn& fn, RunLedger& ledger,
+                                   StageWatchdog* watchdog);
+
+  SupervisorOptions options_;
+};
+
+}  // namespace locpriv::harness

@@ -2,26 +2,52 @@
 
 #include <stdexcept>
 
-#include "util/args.hpp"
-
 namespace locpriv::harness {
 
-RunOptions parse_run_options(int argc, const char* const* argv,
-                             std::string stage_name) {
-  util::Args args;
+std::string RunOptions::mode_string() const {
+  return (supervisor.isolate ? "isolate-w" : "inproc-w") +
+         std::to_string(supervisor.workers);
+}
+
+void declare_run_flags(util::Args& args) {
   args.declare("--run-dir", "");
   args.declare("--resume", "");
   args.declare("--heartbeat", "30");
   args.declare("--soft-deadline", "0");
   args.declare("--hard-deadline", "0");
+  args.declare_bool("--isolate");
+  args.declare("--workers", "1");
+  args.declare("--cell-rlimit-mb", "0");
+  args.declare("--cell-cpu-s", "0");
+  args.declare("--cell-deadline", "0");
+  args.declare("--cell-grace", "2");
+  args.declare("--cell-retries", "3");
+  args.declare("--cell-backoff-ms", "100");
+}
+
+RunOptions run_options_from(const util::Args& args, std::string stage_name) {
   RunOptions options;
   try {
-    args.parse(argc, argv, 1);
     options.stage.heartbeat = std::chrono::seconds(args.get_int("--heartbeat"));
     options.stage.soft_deadline =
         std::chrono::seconds(args.get_int("--soft-deadline"));
     options.stage.hard_deadline =
         std::chrono::seconds(args.get_int("--hard-deadline"));
+    options.supervisor.isolate = args.get_bool("--isolate");
+    options.supervisor.workers =
+        static_cast<unsigned>(args.get_int("--workers"));
+    options.supervisor.cell_rlimit_mb =
+        static_cast<std::size_t>(args.get_int("--cell-rlimit-mb"));
+    options.supervisor.cell_cpu_s =
+        static_cast<unsigned>(args.get_int("--cell-cpu-s"));
+    options.supervisor.cell_deadline = std::chrono::milliseconds(
+        static_cast<long long>(args.get_double("--cell-deadline") * 1000.0));
+    options.supervisor.term_grace = std::chrono::milliseconds(
+        static_cast<long long>(args.get_double("--cell-grace") * 1000.0));
+    options.supervisor.max_attempts =
+        static_cast<int>(args.get_int("--cell-retries"));
+    options.supervisor.backoff_base =
+        std::chrono::milliseconds(args.get_int("--cell-backoff-ms"));
   } catch (const std::runtime_error& error) {
     throw Error(ErrorCode::kUsage, error.what());
   }
@@ -31,6 +57,15 @@ RunOptions parse_run_options(int argc, const char* const* argv,
       options.stage.soft_deadline.count() < 0 ||
       options.stage.hard_deadline.count() < 0)
     throw Error(ErrorCode::kUsage, "deadlines and heartbeat must be >= 0 seconds");
+  if (args.get_int("--workers") < 1)
+    throw Error(ErrorCode::kUsage, "--workers must be >= 1");
+  if (args.get_int("--cell-retries") < 1)
+    throw Error(ErrorCode::kUsage, "--cell-retries must be >= 1");
+  if (args.get_int("--cell-rlimit-mb") < 0 || args.get_int("--cell-cpu-s") < 0 ||
+      args.get_double("--cell-deadline") < 0 ||
+      args.get_double("--cell-grace") < 0 ||
+      args.get_int("--cell-backoff-ms") < 0)
+    throw Error(ErrorCode::kUsage, "cell limits must be >= 0");
   options.stage.name = std::move(stage_name);
   if (!args.get("--resume").empty()) {
     options.run_dir = args.get("--resume");
@@ -39,6 +74,18 @@ RunOptions parse_run_options(int argc, const char* const* argv,
     options.run_dir = args.get("--run-dir");
   }
   return options;
+}
+
+RunOptions parse_run_options(int argc, const char* const* argv,
+                             std::string stage_name) {
+  util::Args args;
+  declare_run_flags(args);
+  try {
+    args.parse(argc, argv, 1);
+  } catch (const std::runtime_error& error) {
+    throw Error(ErrorCode::kUsage, error.what());
+  }
+  return run_options_from(args, std::move(stage_name));
 }
 
 std::unique_ptr<RunLedger> open_ledger(const RunOptions& options,

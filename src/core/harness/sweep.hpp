@@ -6,6 +6,14 @@
 //   --heartbeat S       progress log cadence in seconds (default 30, 0 = off)
 //   --soft-deadline S   warn when the sweep stage runs longer than S seconds
 //   --hard-deadline S   abort with exit 5 when the stage exceeds S seconds
+//   --isolate           fork one child per sweep-cell attempt (crash isolation)
+//   --workers N         concurrent cells (children or threads; default 1)
+//   --cell-rlimit-mb N  RLIMIT_AS per isolated cell, MiB (0 = off)
+//   --cell-cpu-s N      RLIMIT_CPU per isolated cell, seconds (0 = off)
+//   --cell-deadline S   per-attempt wall deadline, seconds (0 = off; isolate)
+//   --cell-grace S      SIGTERM->SIGKILL grace, seconds (default 2)
+//   --cell-retries N    attempts per cell before quarantine (default 3)
+//   --cell-backoff-ms N retry backoff base in milliseconds (default 100)
 #pragma once
 
 #include <filesystem>
@@ -13,7 +21,9 @@
 #include <string>
 
 #include "core/harness/run_ledger.hpp"
+#include "core/harness/supervisor.hpp"
 #include "core/harness/watchdog.hpp"
+#include "util/args.hpp"
 
 namespace locpriv::harness {
 
@@ -21,10 +31,27 @@ struct RunOptions {
   std::filesystem::path run_dir;  ///< Empty = unsupervised legacy run.
   bool resume = false;
   StageOptions stage;
+  SupervisorOptions supervisor;
 
   /// True when a run directory (fresh or resumed) was requested.
   bool active() const { return !run_dir.empty(); }
+
+  /// Execution-mode descriptor pinned into the RunLedger header (e.g.
+  /// "isolate-w4", "inproc-w1"): a resume under a different mode or worker
+  /// count is refused, because dispatch differences could change which
+  /// cells were attempted and make "byte-identical resume" unfalsifiable.
+  std::string mode_string() const;
 };
+
+/// Declares the standard harness flags on a caller-owned parser, so bench
+/// binaries can mix them with their own experiment flags in one command
+/// line. Pair with run_options_from() after args.parse().
+void declare_run_flags(util::Args& args);
+
+/// Extracts and validates RunOptions from a parsed command line that
+/// declared the flags via declare_run_flags(). Throws Error(kUsage) on bad
+/// values (negative deadlines, zero workers, ...).
+RunOptions run_options_from(const util::Args& args, std::string stage_name);
 
 /// Parses the standard harness flags (and nothing else) from a bench
 /// command line. Throws Error(kUsage) on unknown flags or bad values.

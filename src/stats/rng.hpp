@@ -84,6 +84,7 @@ class Rng {
 
   /// Derives an independent child generator; used to give each simulated
   /// user/app its own stream so adding one entity never perturbs another.
+  /// (Declaration shares a POSIX spelling. locpriv-lint: allow(raw-process))
   Rng fork();
 
  private:

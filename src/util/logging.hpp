@@ -24,6 +24,21 @@ LogLevel log_level();
 /// Emits one formatted line to the log sink if `level` passes the threshold.
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
+/// Fork-safety bracket: holds the sink mutex for its lifetime so no other
+/// thread can be mid-emission at the instant of a fork(2) — a child forked
+/// while another thread held the sink lock would inherit it locked and
+/// deadlock on its first log line. The harness supervisor constructs one
+/// around each fork; the child must still never log through the inherited
+/// sink (it sets the level to kOff as its first action, which short-circuits
+/// log_line before the mutex is touched).
+class LogForkGuard {
+ public:
+  LogForkGuard();
+  ~LogForkGuard();
+  LogForkGuard(const LogForkGuard&) = delete;
+  LogForkGuard& operator=(const LogForkGuard&) = delete;
+};
+
 /// Builder used by the LOCPRIV_LOG macro; collects a message via `<<`.
 class LogMessage {
  public:

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -10,41 +11,19 @@
 
 namespace locpriv::util {
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
-                  unsigned max_threads) {
-  if (count == 0) return;
-  unsigned threads = max_threads == 0 ? std::thread::hardware_concurrency() : max_threads;
+namespace {
+
+unsigned resolve_threads(std::size_t count, unsigned max_threads) {
+  unsigned threads =
+      max_threads == 0 ? std::thread::hardware_concurrency() : max_threads;
   if (threads == 0) threads = 1;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, count));
+  return static_cast<unsigned>(std::min<std::size_t>(threads, count));
+}
 
-  // Tiny workloads are not worth the thread spawn.
-  if (threads <= 1 || count < 4) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-
-  // One error slot per worker: every concurrent failure is captured, and
-  // "first" is deterministic (lowest worker index) rather than whichever
-  // thread lost the race to a shared mutex.
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const std::size_t chunk = (count + threads - 1) / threads;
-  for (unsigned t = 0; t < threads; ++t) {
-    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
-    const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&, t, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-
+// One error slot per worker: every concurrent failure is captured, and
+// "first" is deterministic (lowest worker index) rather than whichever
+// thread lost the race to a shared mutex.
+void rethrow_first_log_rest(const std::vector<std::exception_ptr>& errors) {
   std::exception_ptr first_error;
   for (const std::exception_ptr& error : errors) {
     if (!error) continue;
@@ -67,6 +46,71 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned max_threads) {
+  if (count == 0) return;
+  const unsigned threads = resolve_threads(count, max_threads);
+
+  // Tiny workloads are not worth the thread spawn.
+  if (threads <= 1 || count < 4) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (count + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&, t, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  rethrow_first_log_rest(errors);
+}
+
+void parallel_for_dynamic(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          unsigned max_threads) {
+  if (count == 0) return;
+  const unsigned threads = resolve_threads(count, max_threads);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // A worker whose body throws stops pulling new indices, but the others
+  // keep draining the cursor — a single failed sweep cell must not strand
+  // the rest of the queue (the caller decides what a failure means).
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        for (std::size_t i = cursor.fetch_add(1); i < count;
+             i = cursor.fetch_add(1))
+          body(i);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  rethrow_first_log_rest(errors);
 }
 
 }  // namespace locpriv::util

@@ -23,4 +23,16 @@ namespace locpriv::util {
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned max_threads = 0);
 
+/// Like parallel_for, but indices are handed out one at a time from a shared
+/// atomic cursor instead of pre-chunked. Use when the per-index cost is
+/// heterogeneous (e.g. sweep cells that retry or back off), so a slow index
+/// does not strand its statically assigned neighbours behind it. Outputs
+/// keyed by index stay deterministic; the *visit order* is not, so bodies
+/// must not append to shared sequences. Exception aggregation matches
+/// parallel_for: all workers join, every failure is captured, the lowest
+/// worker index's exception is rethrown and the rest are logged.
+void parallel_for_dynamic(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          unsigned max_threads = 0);
+
 }  // namespace locpriv::util

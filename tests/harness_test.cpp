@@ -121,6 +121,36 @@ TEST(AtomicFile, TornWriteKeepsCompleteOldVersion) {
   EXPECT_FALSE(has_temp_debris(dir));
 }
 
+TEST(AtomicFile, ConcurrentPublishersToSameDestinationNeverTear) {
+  // Two writers race full publishes of the same destination, repeatedly.
+  // The invariant is last-complete-wins: after every round the destination
+  // holds one writer's COMPLETE content — never an interleaving — and no
+  // temp debris survives.
+  const fs::path dir = fresh_dir("atomic_race");
+  const fs::path target = dir / "artifact.csv";
+  const std::string content_a(8192, 'a');
+  const std::string content_b(8192, 'b');
+  constexpr int kRounds = 25;
+
+  auto publish = [&](const std::string& content) {
+    for (int round = 0; round < kRounds; ++round) {
+      AtomicFileWriter writer(target);
+      writer.stream() << content << "\n";
+      writer.commit();
+    }
+  };
+  std::thread racer_a([&] { publish(content_a); });
+  std::thread racer_b([&] { publish(content_b); });
+  racer_a.join();
+  racer_b.join();
+
+  const std::string final_content = slurp(target);
+  EXPECT_TRUE(final_content == content_a + "\n" ||
+              final_content == content_b + "\n")
+      << "destination holds a torn mix of both publishers";
+  EXPECT_FALSE(has_temp_debris(dir));
+}
+
 // ---- run ledger --------------------------------------------------------
 
 const RunInfo kInfo{"harness_test", 42, "3u1d"};
@@ -218,6 +248,67 @@ TEST(RunLedger, MismatchedRunIdentityRefusesResume) {
       EXPECT_EQ(error.code(), ErrorCode::kResume);
     }
   }
+}
+
+TEST(RunLedger, QuarantineRecordsReplayAndAreSupersededByCompletion) {
+  const fs::path dir = fresh_dir("ledger_quarantine");
+  const std::vector<std::string> details = {
+      "attempt 1: killed by SIGSEGV; stderr: boom",
+      "attempt 2: deadline 500ms exceeded (SIGTERM, escalated to SIGKILL)"};
+  {
+    RunLedger ledger(dir, kInfo);
+    ledger.record("cell_ok", {"1"});
+    ledger.record_quarantine("cell_bad", details);
+    EXPECT_TRUE(ledger.quarantined("cell_bad"));
+    EXPECT_FALSE(ledger.quarantined("cell_ok"));
+    EXPECT_FALSE(ledger.completed("cell_bad"));
+  }
+  {
+    // Quarantine records are journaled: they survive reopen with their
+    // structured details intact and are listed for the summary.
+    RunLedger ledger(dir, kInfo);
+    EXPECT_TRUE(ledger.quarantined("cell_bad"));
+    ASSERT_NE(ledger.quarantine_details("cell_bad"), nullptr);
+    EXPECT_EQ(*ledger.quarantine_details("cell_bad"), details);
+    EXPECT_EQ(ledger.quarantined_cells(), std::vector<std::string>{"cell_bad"});
+    // A resumed run that retries the cell and succeeds supersedes the
+    // quarantine — latest state wins, exactly like a completed record.
+    ledger.record("cell_bad", {"2"});
+    EXPECT_FALSE(ledger.quarantined("cell_bad"));
+    EXPECT_TRUE(ledger.quarantined_cells().empty());
+  }
+  RunLedger reopened(dir, kInfo);
+  EXPECT_TRUE(reopened.completed("cell_bad"));
+  EXPECT_FALSE(reopened.quarantined("cell_bad"));
+}
+
+TEST(RunLedger, QuarantiningACompletedCellIsAHarnessBug) {
+  const fs::path dir = fresh_dir("ledger_quarantine_bug");
+  RunLedger ledger(dir, kInfo);
+  ledger.record("cell", {"1"});
+  try {
+    ledger.record_quarantine("cell", {"attempt 1: exit 1"});
+    FAIL() << "quarantining a completed cell should have thrown";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kResume);
+  }
+}
+
+TEST(RunLedger, MismatchedExecutionModeRefusesResume) {
+  const fs::path dir = fresh_dir("ledger_mode_mismatch");
+  RunInfo isolate_info = kInfo;
+  isolate_info.mode = "isolate-w4";
+  { RunLedger ledger(dir, isolate_info); }
+  // Same experiment/seed/scale, different execution mode: a resume must not
+  // silently switch between isolated and in-process dispatch.
+  try {
+    RunLedger ledger(dir, kInfo);
+    FAIL() << "mode mismatch should have thrown";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kResume);
+    EXPECT_NE(std::string(error.what()).find("isolate-w4"), std::string::npos);
+  }
+  RunLedger matched(dir, isolate_info);  // The pinned mode still resumes.
 }
 
 TEST(OpenLedger, FreshRunDirRefusesExistingLedger) {
@@ -360,6 +451,8 @@ TEST(ErrorTaxonomy, CodesMapToDistinctExitCodes) {
   EXPECT_EQ(exit_code(ErrorCode::kIo), 4);
   EXPECT_EQ(exit_code(ErrorCode::kDeadline), 5);
   EXPECT_EQ(exit_code(ErrorCode::kResume), 6);
+  EXPECT_EQ(exit_code(ErrorCode::kInterrupted), 7);
+  EXPECT_EQ(error_code_name(ErrorCode::kInterrupted), "interrupted");
 }
 
 TEST(ErrorTaxonomy, ContextChainRendersOutermostFirst) {
@@ -392,6 +485,30 @@ TEST(ErrorTaxonomy, ParseRunOptionsValidates) {
 
   const char* clash[] = {"bench", "--run-dir", "a", "--resume", "b"};
   EXPECT_THROW(parse_run_options(5, clash, "stage"), Error);
+}
+
+TEST(ErrorTaxonomy, ParseRunOptionsCoversSupervisorFlags) {
+  const char* good[] = {"bench",        "--run-dir",      "/tmp/run",
+                        "--isolate",    "--workers",      "4",
+                        "--cell-rlimit-mb", "512",        "--cell-deadline",
+                        "2.5",          "--cell-retries", "5",
+                        "--cell-backoff-ms", "250"};
+  const RunOptions options = parse_run_options(14, good, "stage");
+  EXPECT_TRUE(options.supervisor.isolate);
+  EXPECT_EQ(options.supervisor.workers, 4u);
+  EXPECT_EQ(options.supervisor.cell_rlimit_mb, 512u);
+  EXPECT_EQ(options.supervisor.cell_deadline, std::chrono::milliseconds(2500));
+  EXPECT_EQ(options.supervisor.max_attempts, 5);
+  EXPECT_EQ(options.supervisor.backoff_base, std::chrono::milliseconds(250));
+  EXPECT_EQ(options.mode_string(), "isolate-w4");
+  EXPECT_EQ(RunOptions{}.mode_string(), "inproc-w1");
+
+  const char* zero_workers[] = {"bench", "--workers", "0"};
+  EXPECT_THROW(parse_run_options(3, zero_workers, "stage"), Error);
+  const char* zero_retries[] = {"bench", "--cell-retries", "0"};
+  EXPECT_THROW(parse_run_options(3, zero_retries, "stage"), Error);
+  const char* negative_limit[] = {"bench", "--cell-rlimit-mb", "-1"};
+  EXPECT_THROW(parse_run_options(3, negative_limit, "stage"), Error);
 }
 
 }  // namespace

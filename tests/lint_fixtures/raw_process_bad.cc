@@ -1,0 +1,9 @@
+// Violation: reaps a child directly instead of letting the harness
+// supervisor own the process lifecycle.
+#include <sys/wait.h>
+
+int reap(int pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}

@@ -1,0 +1,9 @@
+// Clean: C++ members and class-qualified names that merely share a POSIX
+// spelling are not process-lifecycle calls.
+#include "stats/rng.hpp"
+
+locpriv::stats::Rng derive(locpriv::stats::Rng& rng, locpriv::stats::Rng* ptr) {
+  locpriv::stats::Rng child = rng.fork();
+  child = ptr->fork();
+  return child;
+}

@@ -49,6 +49,7 @@ TEST(LocprivLint, EveryRuleFlagsItsViolationAndAcceptsItsCleanTwin) {
        "unordered_serialize_clean.cc"},
       {"swallowed-catch", "swallowed_catch_bad.cc", "swallowed_catch_clean.cc"},
       {"exit-call", "exit_call_bad.cc", "exit_call_clean.cc"},
+      {"raw-process", "raw_process_bad.cc", "raw_process_clean.cc"},
   };
   for (const auto& test_case : kCases) {
     const auto bad = lint_fixture(test_case.bad);
@@ -66,6 +67,24 @@ TEST(LocprivLint, HarnessDirectoryMayWriteRaw) {
   const std::string content = read_fixture("raw_write_bad.cc");
   EXPECT_EQ(lint_source("src/sample.cpp", content).size(), 1u);
   EXPECT_TRUE(lint_source("src/core/harness/sample.cpp", content).empty());
+}
+
+TEST(LocprivLint, HarnessDirectoryMayForkAndReap) {
+  // Likewise for process lifecycle: the supervisor implementation is the
+  // one legitimate home for fork/waitpid/kill.
+  const std::string content = read_fixture("raw_process_bad.cc");
+  EXPECT_EQ(lint_source("src/sample.cpp", content).size(), 1u);
+  EXPECT_TRUE(lint_source("src/core/harness/supervisor.cpp", content).empty());
+}
+
+TEST(LocprivLint, GlobalQualifiedSyscallStillFlagged) {
+  // `::fork()` is the real syscall even though it is qualified; only a
+  // class-qualified name (`Rng::fork`) passes as a C++ method.
+  const auto global_call = lint_source("src/sample.cpp", "int f() { return ::fork(); }\n");
+  ASSERT_EQ(global_call.size(), 1u);
+  EXPECT_EQ(global_call[0].rule, "raw-process");
+  EXPECT_TRUE(
+      lint_source("src/sample.cpp", "Rng r = Rng::fork();\n").empty());
 }
 
 TEST(LocprivLint, UnorderedContainerWithoutSerializationSinkIsClean) {
@@ -114,7 +133,7 @@ TEST(LocprivLint, FindingsAreStablyOrderedAndFormatted) {
 
 TEST(LocprivLint, KnownRuleRegistryIsSortedAndComplete) {
   const auto& rules = locpriv::lint::rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 6u);
   for (std::size_t i = 1; i < rules.size(); ++i)
     EXPECT_LT(rules[i - 1].name, rules[i].name);
   for (const auto& rule : rules)

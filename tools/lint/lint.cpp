@@ -1,6 +1,7 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <iterator>
 #include <map>
@@ -136,6 +137,7 @@ constexpr std::string_view kNondetRng = "nondet-rng";
 constexpr std::string_view kUnorderedSerialize = "unordered-serialize";
 constexpr std::string_view kSwallowedCatch = "swallowed-catch";
 constexpr std::string_view kExitCall = "exit-call";
+constexpr std::string_view kRawProcess = "raw-process";
 constexpr std::string_view kBadSuppression = "bad-suppression";
 
 const std::regex& raw_write_re() {
@@ -166,6 +168,29 @@ const std::regex& serialize_sink_re() {
 const std::regex& exit_call_re() {
   static const std::regex re(R"re(\bexit\s*\(|\bquick_exit\s*\(|\b_Exit\s*\()re");
   return re;
+}
+
+// Raw process-lifecycle primitives. The supervisor owns fork/kill/waitpid
+// (child cleanup, rlimits, SIGTERM escalation, quarantine bookkeeping);
+// scattered direct calls would leak children past graceful shutdown.
+const std::regex& raw_process_re() {
+  static const std::regex re(
+      R"re(\b(fork|vfork|execl|execle|execlp|execv|execve|execvp|fexecve|posix_spawnp?|waitpid|kill)\s*\()re");
+  return re;
+}
+
+// True when the name at `pos` is a C++ member or class-qualified call that
+// merely shares a POSIX spelling — `rng.fork()`, `child->kill()`,
+// `Rng::fork(` — as opposed to the real syscall wrapper. A global-namespace
+// qualifier (`::fork(`) is still the syscall.
+bool member_or_class_qualified(const std::string& code, std::size_t pos) {
+  if (pos >= 1 && code[pos - 1] == '.') return true;
+  if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>') return true;
+  if (pos >= 2 && code[pos - 2] == ':' && code[pos - 1] == ':' && pos >= 3) {
+    const char before = code[pos - 3];
+    return std::isalnum(static_cast<unsigned char>(before)) != 0 || before == '_';
+  }
+  return false;
 }
 
 const std::regex& main_definition_re() {
@@ -280,6 +305,10 @@ const std::vector<RuleInfo>& rules() {
       {kNondetRng,
        "std::rand/srand/random_device/time(nullptr): nondeterministic source "
        "breaks resume byte-identity; derive randomness from a seeded stats::Rng"},
+      {kRawProcess,
+       "direct fork/exec/waitpid/kill outside src/core/harness/; process "
+       "lifecycle belongs to harness::Supervisor (rlimits, reaping, graceful "
+       "shutdown)"},
       {kRawWrite,
        "raw std::ofstream/fopen/rename artifact write outside src/core/harness/; "
        "route artifacts through AtomicFileWriter (torn-write invariant)"},
@@ -338,6 +367,21 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
       add(line, kExitCall,
           "exit() outside a main() file skips destructors and the "
           "locpriv::Error exit-code taxonomy; throw instead");
+    if (!harness_file) {
+      for (auto match = std::sregex_iterator(code.begin(), code.end(),
+                                             raw_process_re());
+           match != std::sregex_iterator(); ++match) {
+        if (member_or_class_qualified(code,
+                                      static_cast<std::size_t>(match->position())))
+          continue;
+        add(line, kRawProcess,
+            "raw " + (*match)[1].str() +
+                "() outside src/core/harness/; run children through "
+                "harness::Supervisor so rlimits, reaping, and graceful "
+                "shutdown stay centralized");
+        break;  // One finding per line, matching the other rules.
+      }
+    }
   }
 
   // swallowed-catch needs the handler block, which can span lines.

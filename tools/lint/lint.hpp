@@ -16,6 +16,12 @@
 //   exit-call           exit() outside a file that defines main() skips
 //                       destructors and the locpriv::Error exit-code
 //                       taxonomy.
+//   raw-process         direct fork/exec*/waitpid/kill outside
+//                       src/core/harness/: process lifecycle belongs to
+//                       harness::Supervisor (rlimits, reaping, graceful
+//                       shutdown). Member calls and class-qualified names
+//                       that share a POSIX spelling (rng.fork(), Rng::fork)
+//                       are not flagged.
 //
 // Escape hatch: a comment of the form `locpriv-lint: allow(raw-write)` —
 // one or more comma-separated rule names — suppresses those rules on its

@@ -15,6 +15,8 @@
 
 #include "core/harness/atomic_file.hpp"
 #include "core/harness/error.hpp"
+#include "core/harness/supervisor.hpp"
+#include "core/harness/sweep.hpp"
 
 #include "core/analyzer.hpp"
 #include "core/experiment.hpp"
@@ -29,6 +31,7 @@
 #include "trace/sampling.hpp"
 #include "trace/trace_stats.hpp"
 #include "util/args.hpp"
+#include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -46,15 +49,22 @@ int usage() {
       "  extract-pois  --root DIR --user INDEX [--interval S] [--radius M] [--visit MIN]\n"
       "                [--lenient]\n"
       "  audit         --root DIR --user INDEX [--interval S] [--lenient]\n"
+      "  audit-all     --root DIR [--interval S] [--csv FILE] [--lenient]\n"
+      "                [--run-dir DIR | --resume DIR] [--isolate] [--workers N]\n"
+      "                [--cell-rlimit-mb N] [--cell-cpu-s N] [--cell-deadline S]\n"
+      "                [--cell-retries N]\n"
       "  identify      --root DIR --user INDEX [--interval S] [--pattern 1|2] [--lenient]\n"
       "  export-geojson --root DIR --user INDEX --out FILE [--interval S]\n"
       "  report        [--out FILE] [--users N] [--days D]\n"
       "\n"
       "--lenient quarantines corrupt .plt files instead of aborting, prints the\n"
       "ingest report, and exits with code 3 when anything was quarantined.\n"
+      "audit-all audits every user; with --isolate each user runs in a forked,\n"
+      "rlimit-capped worker and a crashing user is retried, then quarantined.\n"
       "\n"
-      "exit codes: 0 ok, 1 internal error, 2 usage, 3 lenient quarantine,\n"
-      "4 artifact I/O failure, 5 deadline exceeded, 6 resume/ledger error.\n"
+      "exit codes: 0 ok, 1 internal error, 2 usage, 3 quarantine (lenient ingest\n"
+      "or supervised cells), 4 artifact I/O failure, 5 deadline exceeded,\n"
+      "6 resume/ledger error, 7 interrupted by SIGINT/SIGTERM (resumable).\n"
       "File artifacts (--csv, --summary-csv, --out, gen-dataset) are written\n"
       "atomically: on failure the destination keeps its previous content.\n";
   return 2;
@@ -272,6 +282,123 @@ int cmd_audit(int argc, const char* const* argv) {
   return finish(0, loaded);
 }
 
+/// Audits every user of the dataset, one supervised sweep cell per user.
+/// With --run-dir/--resume the per-user results are journaled and the audit
+/// is resumable; with --isolate each user's evaluation runs in a forked,
+/// rlimit-capped child, so one pathological trace cannot take down the whole
+/// audit — it is retried and finally quarantined (exit 3) with a structured
+/// failure record while the other users complete.
+int cmd_audit_all(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--root", "");
+  args.declare("--interval", "60");
+  args.declare("--csv", "");
+  args.declare_bool("--lenient");
+  harness::declare_run_flags(args);
+  args.parse(argc, argv, 2);
+  if (args.get("--root").empty()) return usage();
+  const harness::RunOptions options =
+      harness::run_options_from(args, "audit-all");
+  if (!options.active() &&
+      (options.supervisor.isolate || options.supervisor.workers > 1))
+    throw Error(ErrorCode::kUsage,
+                "--isolate/--workers need a journal to report into; pass "
+                "--run-dir or --resume");
+
+  auto loaded = load_dataset(args.get("--root"), args.get_bool("--lenient"));
+  const core::PrivacyAnalyzer analyzer(core::experiment_analyzer_config(),
+                                       std::move(loaded.users));
+  const auto interval_s = args.get_int("--interval");
+
+  const std::vector<std::string> header = {
+      "user", "interval_s", "collected_fixes", "extracted_pois", "poi_total",
+      "poi_sensitive", "hisbin_visits", "hisbin_movements", "breach",
+      "deg_anonymity_p2"};
+  std::vector<std::string> cells;
+  for (std::size_t i = 0; i < analyzer.user_count(); ++i)
+    cells.push_back(analyzer.reference(i).user_id);
+
+  const harness::CellFn cell_fn = [&](std::size_t index, const std::string& key,
+                                      int /*attempt*/) {
+    const auto report = analyzer.evaluate_exposure(index, interval_s);
+    return std::vector<std::string>{
+        key,
+        std::to_string(interval_s),
+        std::to_string(report.collected_fixes),
+        std::to_string(report.extracted_pois),
+        util::format_fixed(report.poi_total.fraction(), 4),
+        util::format_fixed(report.poi_sensitive.fraction(), 4),
+        report.hisbin_visits ? "1" : "0",
+        report.hisbin_movements ? "1" : "0",
+        report.breach_detected() ? "1" : "0",
+        util::format_fixed(report.anonymity_movements, 4)};
+  };
+
+  const harness::RunInfo run_info{"audit-all", 0,
+                                  std::to_string(analyzer.user_count()) + "u_t" +
+                                      std::to_string(interval_s),
+                                  options.mode_string()};
+  const std::unique_ptr<harness::RunLedger> ledger =
+      harness::open_ledger(options, run_info);
+
+  std::vector<std::string> quarantined;
+  std::vector<std::vector<std::string>> rows;
+  if (ledger != nullptr) {
+    harness::StageWatchdog watchdog(options.stage);
+    watchdog.set_total(cells.size());
+    watchdog.add_progress(ledger->completed_count());
+    harness::Supervisor supervisor(options.supervisor);
+    quarantined = supervisor.run(cells, cell_fn, *ledger, &watchdog).quarantined;
+    for (const std::string& key : cells)
+      if (const auto* fields = ledger->fields(key); fields != nullptr)
+        rows.push_back(*fields);
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      rows.push_back(cell_fn(i, cells[i], 1));
+  }
+
+  util::ConsoleTable table({"user", "fixes", "PoIs", "PoI_total", "PoI_sens",
+                            "His_bin", "breach", "Deg_anon (p2)"});
+  for (const auto& fields : rows)
+    table.add_row({fields[0], fields[2], fields[3], fields[4], fields[5],
+                   fields[6] + "/" + fields[7], fields[8] == "1" ? "YES" : "no",
+                   fields[9]});
+  table.print(std::cout);
+
+  const auto write_csv = [&](std::ostream& out) {
+    util::CsvWriter csv(out);
+    csv.write_row(header);
+    for (const auto& fields : rows) csv.write_row(fields);
+  };
+  if (!args.get("--csv").empty()) {
+    harness::AtomicFileWriter out(args.get("--csv"));
+    write_csv(out.stream());
+    out.commit();
+    std::cout << "audit table -> " << args.get("--csv") << '\n';
+  }
+  if (options.active()) {
+    harness::AtomicFileWriter out(options.run_dir / "audit_all.csv");
+    write_csv(out.stream());
+    out.commit();
+    std::cout << "(artifact -> " << (options.run_dir / "audit_all.csv").string()
+              << ")\n";
+  }
+
+  if (!quarantined.empty()) {
+    std::cerr << "quarantined users (" << quarantined.size() << "/"
+              << cells.size() << "):\n";
+    for (const std::string& key : quarantined) {
+      std::cerr << "  " << key << '\n';
+      if (const auto* details = ledger->quarantine_details(key);
+          details != nullptr)
+        for (const std::string& detail : *details)
+          std::cerr << "    " << detail << '\n';
+    }
+    return kExitQuarantined;
+  }
+  return finish(0, loaded);
+}
+
 int cmd_identify(int argc, const char* const* argv) {
   util::Args args;
   args.declare("--root", "");
@@ -368,6 +495,7 @@ int main(int argc, char** argv) {
     if (command == "market-study") return cmd_market_study(argc, argv);
     if (command == "extract-pois") return cmd_extract_pois(argc, argv);
     if (command == "audit") return cmd_audit(argc, argv);
+    if (command == "audit-all") return cmd_audit_all(argc, argv);
     if (command == "identify") return cmd_identify(argc, argv);
     if (command == "export-geojson") return cmd_export_geojson(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
