@@ -1,0 +1,78 @@
+// Deterministic synthetic-traffic driver and parity oracle for locprivd.
+//
+// The traffic schedule is a pure function of (analyzer, TrafficOptions):
+// every user's full-rate trace is chunked into fixed-size batches and the
+// users are interleaved round-robin, optionally for several rounds with the
+// whole corpus time-shifted per round. Because the schedule is canonical,
+// a restarted service can simply be fed the same schedule again — the
+// service's sequence-number dedupe drops everything a restored snapshot
+// already covers — and the batch-pipeline reference for any user is just
+// scheduled_fixes() run through PrivacyAnalyzer::evaluate_collected, which
+// is what parity_mismatches() checks byte-for-byte.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "service/locprivd.hpp"
+
+namespace locpriv::service {
+
+struct TrafficOptions {
+  std::size_t batch_size = 64;  ///< Fixes per submit batch.
+  int rounds = 1;               ///< Dataset passes (soak length control).
+  /// Gap inserted between rounds on top of the corpus span, so timestamps
+  /// stay strictly increasing per user across rounds.
+  std::int64_t round_gap_s = 86400;
+  /// Sleep between submitted batches (paces a soak over wall-clock time).
+  std::chrono::milliseconds pace{0};
+};
+
+struct TrafficOutcome {
+  std::uint64_t batches = 0;   ///< Batches offered to the service.
+  std::uint64_t accepted = 0;  ///< Batches the service accepted (not deduped).
+  std::uint64_t fixes = 0;     ///< Fixes inside accepted batches.
+  bool interrupted = false;    ///< should_stop fired before the schedule ended.
+};
+
+/// Streams the canonical schedule into the service, ticking it between
+/// batches. `should_stop` (optional) is polled per batch; when it returns
+/// true the drive stops early with interrupted = true.
+TrafficOutcome drive_traffic(LocprivService& service,
+                             const core::PrivacyAnalyzer& analyzer,
+                             const TrafficOptions& options,
+                             const std::function<bool()>& should_stop = {});
+
+/// Exactly the fixes the schedule submits for `user`, in submit order — the
+/// input to the batch-pipeline parity reference.
+std::vector<trace::TracePoint> scheduled_fixes(
+    const core::PrivacyAnalyzer& analyzer, std::size_t user,
+    const TrafficOptions& options);
+
+/// The audit-all row layout for one exposure report: user, interval_s,
+/// collected_fixes, extracted_pois, poi_total, poi_sensitive, hisbin_visits,
+/// hisbin_movements, breach, deg_anonymity_p2. Shared by the shard pipeline
+/// and the batch reference so parity is a plain string comparison.
+std::vector<std::string> exposure_fields(const std::string& user_id,
+                                         std::int64_t interval_s,
+                                         const core::ExposureReport& report);
+
+/// The single-pass batch-pipeline rows for the full schedule, analyzer user
+/// order, same layout as LocprivService::collect_reports().
+std::vector<std::vector<std::string>> batch_reference_rows(
+    const core::PrivacyAnalyzer& analyzer, std::int64_t interval_s,
+    const TrafficOptions& options);
+
+/// Users whose service row differs from (or is missing against) the batch
+/// reference; empty means byte-identical parity. `ignore_users` skips users
+/// expected to be absent (quarantined shards).
+std::vector<std::string> parity_mismatches(
+    const core::PrivacyAnalyzer& analyzer, std::int64_t interval_s,
+    const TrafficOptions& options,
+    const std::vector<std::vector<std::string>>& service_rows,
+    const std::vector<std::string>& ignore_users = {});
+
+}  // namespace locpriv::service

@@ -1,0 +1,836 @@
+#include "service/locprivd.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/harness/supervisor.hpp"
+#include "service/shard_child.hpp"
+#include "service/snapshot.hpp"
+#include "util/logging.hpp"
+
+namespace locpriv::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+constexpr std::size_t kOutbufCompactBytes = 1 << 20;
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t parse_u64(const std::string& token) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0')
+    throw Error(ErrorCode::kInternal,
+                "bad integer in shard response: " + token);
+  return value;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+std::string signal_name(int signal) {
+  switch (signal) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    case SIGXCPU: return "SIGXCPU";
+    default: return "signal " + std::to_string(signal);
+  }
+}
+
+std::string describe_status(int status) {
+  if (WIFSIGNALED(status))
+    return "killed by " + signal_name(WTERMSIG(status));
+  if (WIFEXITED(status)) return "exit " + std::to_string(WEXITSTATUS(status));
+  return "wait status " + std::to_string(status);
+}
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             to - from)
+      .count();
+}
+
+}  // namespace
+
+/// Everything the parent tracks about one shard across its incarnations.
+struct LocprivService::Shard {
+  enum class State {
+    kIdle,         ///< Constructed, not yet spawned.
+    kRunning,      ///< Child alive and believed healthy.
+    kTerminating,  ///< SIGTERM sent; SIGKILL when the grace expires.
+    kDead,         ///< Reaped; respawn scheduled at `respawn_at`.
+    kDrained,      ///< Final snapshot journaled; child exiting/exited.
+    kQuarantined,  ///< Flapped past the respawn budget; dropped from service.
+  };
+
+  unsigned index = 0;
+  std::string name;
+  State state = State::kIdle;
+  pid_t pid = -1;
+  int incarnation = 0;  ///< Spawn count; the fault plan's attempt window.
+  int deaths = 0;
+  int cmd_fd = -1;   ///< Parent write end (nonblocking).
+  int resp_fd = -1;  ///< Parent read end (nonblocking).
+  int err_fd = -1;   ///< Parent read end of captured stderr (nonblocking).
+
+  std::string outbuf;  ///< Encoded commands awaiting pipe capacity.
+  std::size_t out_off = 0;
+  wire::FrameDecoder decoder;
+  RollingTail stderr_tail;
+  std::deque<PendingOp> pending;
+  std::deque<RetainedBatch> retained;  ///< Accepted but not yet snapshotted.
+
+  std::uint64_t submit_seq = 0;       ///< Last assigned submit sequence.
+  std::uint64_t restored_seq = 0;     ///< Watermark restored at startup.
+  std::uint64_t snap_seq = 0;         ///< Last *journaled* snapshot seq.
+  std::uint64_t snap_last_seq = 0;    ///< Watermark of that snapshot.
+  std::uint64_t queued_snap_seq = 0;  ///< Highest snapshot seq handed out.
+  std::string restore_file;           ///< Snapshot a respawn restores from.
+  std::uint64_t restore_expect_seq = 0;
+
+  std::uint64_t ingested = 0;    ///< Child-reported applied fixes.
+  std::size_t state_bytes = 0;   ///< Child-reported resident state estimate.
+  std::string last_failure;
+  bool recovering = false;       ///< A death is awaiting its recovery pong.
+  bool death_clock_running = false;
+  Clock::time_point death_time{};
+  Clock::time_point respawn_at{};
+  Clock::time_point term_deadline{};
+  Clock::time_point last_ping_sent{};
+  Clock::time_point next_snapshot_at{};
+
+  std::vector<std::vector<std::string>> report_rows;
+  bool report_ready = false;
+
+  Shard(unsigned index, std::size_t tail_cap)
+      : index(index), name(shard_name(index)), stderr_tail(tail_cap) {}
+
+  bool alive() const {
+    return state == State::kRunning || state == State::kTerminating;
+  }
+
+  bool has_pending(const char* response_verb) const {
+    for (const PendingOp& op : pending)
+      if (op.verb == response_verb) return true;
+    return false;
+  }
+
+  void push_op(const char* response_verb, std::uint64_t token,
+               std::chrono::milliseconds budget) {
+    PendingOp op;
+    op.verb = response_verb;
+    op.token = token;
+    op.budget = budget;
+    if (pending.empty()) op.deadline = Clock::now() + budget;
+    pending.push_back(std::move(op));
+  }
+
+  void pop_op() {
+    pending.pop_front();
+    if (!pending.empty())
+      pending.front().deadline = Clock::now() + pending.front().budget;
+  }
+};
+
+LocprivService::LocprivService(ServiceOptions options,
+                               const core::PrivacyAnalyzer& analyzer,
+                               std::filesystem::path run_dir, bool resume)
+    : options_(std::move(options)),
+      analyzer_(analyzer),
+      run_dir_(std::move(run_dir)) {
+  if (options_.shards == 0)
+    throw Error(ErrorCode::kUsage, "locprivd needs at least one shard");
+  // A dead shard's pipe must not kill the whole service with SIGPIPE; the
+  // write's EPIPE is handled and the reaper classifies the death.
+  ::signal(SIGPIPE, SIG_IGN);
+  std::error_code ec;
+  std::filesystem::create_directories(run_dir_, ec);
+
+  // The ledger header pins seed, scale, AND shard topology: resuming a
+  // run directory journaled under a different shard count would scatter the
+  // user->shard mapping across snapshots, so it is refused (exit 6).
+  const harness::RunInfo info{"locprivd", options_.seed, options_.scale,
+                              "serve-s" + std::to_string(options_.shards)};
+  if (!resume && std::filesystem::exists(run_dir_ / "ledger.jsonl"))
+    throw Error(ErrorCode::kResume,
+                run_dir_.string() +
+                    " already holds a ledger; pass resume to continue that "
+                    "run or choose a fresh run directory");
+  ledger_ = std::make_unique<harness::RunLedger>(run_dir_, info);
+
+  for (unsigned k = 0; k < options_.shards; ++k)
+    shards_.push_back(
+        std::make_unique<Shard>(k, options_.stderr_tail_cap));
+  if (resume)
+    for (auto& shard : shards_) resume_pointer(*shard);
+  for (auto& shard : shards_) spawn(*shard);
+}
+
+LocprivService::~LocprivService() {
+  for (auto& owned : shards_) {
+    Shard& shard = *owned;
+    if (shard.pid > 0) {
+      ::kill(shard.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(shard.pid, &status, 0);
+      shard.pid = -1;
+    }
+    close_fd(shard.cmd_fd);
+    close_fd(shard.resp_fd);
+    close_fd(shard.err_fd);
+  }
+}
+
+std::string LocprivService::shard_name(unsigned shard) {
+  return "shard" + std::to_string(shard);
+}
+
+unsigned LocprivService::shard_of(const std::string& user_id) const {
+  const auto it = user_shard_.find(user_id);
+  if (it != user_shard_.end()) return it->second;
+  const auto shard =
+      static_cast<unsigned>(fnv1a(user_id) % options_.shards);
+  user_shard_.emplace(user_id, shard);
+  return shard;
+}
+
+void LocprivService::resume_pointer(Shard& shard) {
+  // Snapshot seqs are dense (1, 2, ...) per shard, so the newest journaled
+  // snapshot is found by probing upward from the last known seq.
+  std::uint64_t newest = 0;
+  while (ledger_->completed(shard.name + "/snap/" +
+                            std::to_string(newest + 1)))
+    ++newest;
+  if (newest == 0) return;  // Shard never snapshotted; resumes fresh.
+
+  // Validate before trusting: the newest snapshot file, falling back to the
+  // previous one (the service keeps two on disk) if the newest is missing
+  // or corrupt. The ledger-recorded checksum ties the file to the journal.
+  for (std::uint64_t seq = newest; seq > 0 && seq + 2 > newest; --seq) {
+    const std::vector<std::string>* fields =
+        ledger_->fields(shard.name + "/snap/" + std::to_string(seq));
+    if (fields == nullptr || fields->size() < 5) continue;
+    const std::string& file = (*fields)[0];
+    std::ifstream in(file, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream content;
+    content << in.rdbuf();
+    const std::string encoded = content.str();
+    try {
+      const ShardSnapshot snapshot = parse_snapshot(encoded);
+      if (snapshot.shard != shard.index || snapshot.seq != seq ||
+          snapshot_checksum(encoded) != (*fields)[4])
+        continue;
+    } catch (const Error&) {
+      continue;
+    }
+    shard.restore_file = file;
+    shard.restore_expect_seq = seq;
+    shard.restored_seq = parse_u64((*fields)[1]);
+    shard.snap_seq = newest;
+    shard.queued_snap_seq = newest;
+    shard.snap_last_seq = shard.restored_seq;
+    return;
+  }
+  throw Error(ErrorCode::kResume,
+              shard.name + ": no journaled snapshot is loadable; the run "
+                           "directory cannot be resumed without divergence");
+}
+
+void LocprivService::spawn(Shard& shard) {
+  int cmd[2] = {-1, -1};
+  int resp[2] = {-1, -1};
+  int err[2] = {-1, -1};
+  if (::pipe(cmd) != 0 || ::pipe(resp) != 0 || ::pipe(err) != 0) {
+    for (int* pair : {cmd, resp, err})
+      for (int i = 0; i < 2; ++i)
+        if (pair[i] >= 0) ::close(pair[i]);
+    throw Error(ErrorCode::kIo,
+                "cannot create pipes for " + shard.name + errno_detail());
+  }
+
+  ShardChildConfig config;
+  config.shard = shard.index;
+  config.name = shard.name;
+  config.incarnation = shard.incarnation + 1;
+  config.cmd_fd = cmd[0];
+  config.resp_fd = resp[1];
+  config.err_fd = err[1];
+
+  pid_t pid = -1;
+  {
+    // Fork-safety bracket: no other thread may be mid-log-emission at the
+    // instant of the fork, or the child inherits the sink mutex locked.
+    // Every spawn goes through here, so the *respawn* path is as fork-safe
+    // as the initial one.
+    util::LogForkGuard guard;
+    pid = ::fork();
+  }
+  if (pid < 0) {
+    for (int* pair : {cmd, resp, err})
+      for (int i = 0; i < 2; ++i) ::close(pair[i]);
+    throw Error(ErrorCode::kInternal,
+                "cannot fork " + shard.name + errno_detail());
+  }
+  if (pid == 0) {
+    ::close(cmd[1]);
+    ::close(resp[0]);
+    ::close(err[0]);
+    shard_child_main(config, analyzer_, options_);  // [[noreturn]]
+  }
+  ::close(cmd[0]);
+  ::close(resp[1]);
+  ::close(err[1]);
+  set_nonblocking(cmd[1]);
+  set_nonblocking(resp[0]);
+  set_nonblocking(err[0]);
+
+  shard.pid = pid;
+  shard.cmd_fd = cmd[1];
+  shard.resp_fd = resp[0];
+  shard.err_fd = err[0];
+  ++shard.incarnation;
+  if (shard.incarnation > 1) ++stats_.respawns;
+  shard.state = Shard::State::kRunning;
+  shard.decoder = wire::FrameDecoder();
+  shard.outbuf.clear();
+  shard.out_off = 0;
+  shard.pending.clear();
+  shard.report_ready = false;
+  shard.report_rows.clear();
+  shard.queued_snap_seq = shard.snap_seq;
+  const auto now = Clock::now();
+  shard.last_ping_sent = now;
+  shard.next_snapshot_at = now + options_.snapshot_interval;
+
+  // Recovery protocol: restore the latest journaled snapshot, replay the
+  // retained suffix (everything accepted past the snapshot watermark), then
+  // ping — the pong marks the shard recovered.
+  if (shard.restore_expect_seq > 0) {
+    send(shard, {wire::kCmdRestore, shard.restore_file,
+                 std::to_string(shard.restore_expect_seq)});
+    shard.push_op(wire::kRspRestored, 0, options_.op_timeout);
+  }
+  for (const RetainedBatch& batch : shard.retained) {
+    shard.outbuf += batch.frame;
+  }
+  queue_ping(shard);
+  LOCPRIV_LOG(kInfo, "locprivd")
+      << shard.name << " incarnation " << shard.incarnation << " pid " << pid
+      << (shard.restore_expect_seq > 0
+              ? " restoring snapshot " +
+                    std::to_string(shard.restore_expect_seq) + ", replaying " +
+                    std::to_string(shard.retained.size()) + " batches"
+              : " fresh");
+}
+
+void LocprivService::send(Shard& shard, const std::vector<std::string>& fields) {
+  shard.outbuf += wire::encode_message(fields);
+}
+
+bool LocprivService::submit(const std::string& user_id,
+                            const std::vector<trace::TracePoint>& fixes) {
+  Shard& shard = *shards_[shard_of(user_id)];
+  if (shard.state == Shard::State::kQuarantined) {
+    ++stats_.batches_dropped;
+    return false;
+  }
+  const std::uint64_t seq = ++shard.submit_seq;
+  if (seq <= shard.restored_seq) {
+    // Resume dedupe: the deterministic schedule re-offers batches a restored
+    // snapshot already covers; they are dropped without touching the shard.
+    ++stats_.batches_dropped;
+    return false;
+  }
+  std::vector<std::string> fields;
+  fields.reserve(4 + fixes.size() * 3);
+  fields.push_back(wire::kCmdSubmit);
+  fields.push_back(std::to_string(seq));
+  fields.push_back(user_id);
+  fields.push_back(std::to_string(fixes.size()));
+  for (const trace::TracePoint& fix : fixes) {
+    fields.push_back(format_coord(fix.position.lat_deg));
+    fields.push_back(format_coord(fix.position.lon_deg));
+    fields.push_back(std::to_string(fix.timestamp_s));
+  }
+  RetainedBatch batch;
+  batch.seq = seq;
+  batch.frame = wire::encode_message(fields);
+  batch.fixes = fixes.size();
+  if (shard.alive()) shard.outbuf += batch.frame;
+  // Dead shards get the batch at respawn via the retained replay.
+  shard.retained.push_back(std::move(batch));
+  ++stats_.batches_submitted;
+  stats_.fixes_submitted += fixes.size();
+  return true;
+}
+
+void LocprivService::tick(std::chrono::milliseconds budget) {
+  const auto start = Clock::now();
+  auto remaining = budget;
+  for (;;) {
+    pump(std::min(remaining, std::chrono::milliseconds(20)));
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - start);
+    if (elapsed >= budget) break;
+    remaining = budget - elapsed;
+  }
+}
+
+void LocprivService::pump(std::chrono::milliseconds timeout) {
+  const auto now = Clock::now();
+
+  // 1. Push queued commands down the (nonblocking) pipes.
+  for (auto& owned : shards_)
+    if (owned->alive()) flush_out(*owned);
+
+  // 2. Wait for responses / stderr, bounded by the caller's budget.
+  std::vector<pollfd> fds;
+  std::vector<std::pair<Shard*, bool>> owners;  ///< (shard, is_resp).
+  for (auto& owned : shards_) {
+    Shard& shard = *owned;
+    if (shard.resp_fd >= 0) {
+      fds.push_back({shard.resp_fd, POLLIN, 0});
+      owners.emplace_back(&shard, true);
+    }
+    if (shard.err_fd >= 0) {
+      fds.push_back({shard.err_fd, POLLIN, 0});
+      owners.emplace_back(&shard, false);
+    }
+  }
+  if (!fds.empty()) {
+    const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                         static_cast<int>(timeout.count()));
+    if (n > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        Shard& shard = *owners[i].first;
+        char chunk[65536];
+        for (;;) {
+          const ssize_t got = ::read(fds[i].fd, chunk, sizeof(chunk));
+          if (got > 0) {
+            if (owners[i].second)
+              shard.decoder.feed(chunk, static_cast<std::size_t>(got));
+            else
+              shard.stderr_tail.append(chunk, static_cast<std::size_t>(got));
+            continue;
+          }
+          if (got < 0 && errno == EINTR) continue;
+          break;  // EAGAIN (drained) or EOF (child gone; the reaper acts).
+        }
+        if (owners[i].second) {
+          std::vector<std::string> fields;
+          while (shard.decoder.next(fields)) dispatch_response(shard, fields);
+          if (shard.decoder.corrupt() && shard.alive()) {
+            shard.last_failure = "corrupt response stream";
+            ::kill(shard.pid, SIGKILL);
+          }
+        }
+      }
+    }
+  } else if (timeout.count() > 0) {
+    // Nothing to watch (all shards dead or quarantined): honour the budget
+    // so respawn backoff timers still make progress without spinning.
+    ::poll(nullptr, 0, static_cast<int>(timeout.count()));
+  }
+
+  // 3. Reap exits.
+  for (auto& owned : shards_) {
+    Shard& shard = *owned;
+    if (shard.pid <= 0) continue;
+    int status = 0;
+    const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+    if (reaped == shard.pid) handle_death(shard, status);
+  }
+
+  // 4. Health: escalate unresponsive shards, finish overdue terminations.
+  for (auto& owned : shards_) health_check(*owned);
+
+  // 5. Respawn dead shards whose backoff has elapsed.
+  for (auto& owned : shards_) {
+    Shard& shard = *owned;
+    if (shard.state == Shard::State::kDead && now >= shard.respawn_at)
+      spawn(shard);
+  }
+
+  // 6. Cadences: heartbeat pings and periodic snapshots.
+  for (auto& owned : shards_) {
+    Shard& shard = *owned;
+    if (shard.state != Shard::State::kRunning) continue;
+    if (now - shard.last_ping_sent >= options_.heartbeat &&
+        !shard.has_pending(wire::kRspPong))
+      queue_ping(shard);
+    if (options_.snapshot_interval.count() > 0 &&
+        now >= shard.next_snapshot_at &&
+        !shard.has_pending(wire::kRspSnapped) &&
+        !shard.has_pending(wire::kRspDrained))
+      queue_snapshot(shard, wire::kCmdSnapshot);
+  }
+}
+
+void LocprivService::flush_out(Shard& shard) {
+  while (shard.out_off < shard.outbuf.size()) {
+    const ssize_t n =
+        ::write(shard.cmd_fd, shard.outbuf.data() + shard.out_off,
+                shard.outbuf.size() - shard.out_off);
+    if (n > 0) {
+      shard.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN (pipe full) or EPIPE (child dead; the reaper acts).
+  }
+  if (shard.out_off == shard.outbuf.size()) {
+    shard.outbuf.clear();
+    shard.out_off = 0;
+  } else if (shard.out_off > kOutbufCompactBytes) {
+    shard.outbuf.erase(0, shard.out_off);
+    shard.out_off = 0;
+  }
+}
+
+void LocprivService::health_check(Shard& shard) {
+  const auto now = Clock::now();
+  if (shard.state == Shard::State::kTerminating) {
+    // SIGTERM was delivered; a shard that ignores it (busy-hang) is
+    // reclaimed by SIGKILL once the grace expires.
+    if (now >= shard.term_deadline) ::kill(shard.pid, SIGKILL);
+    return;
+  }
+  if (shard.state != Shard::State::kRunning) return;
+  if (shard.pending.empty()) return;
+  const PendingOp& front = shard.pending.front();
+  if (now < front.deadline) return;
+  shard.last_failure = "unresponsive: no " + front.verb + " within " +
+                       std::to_string(front.budget.count()) + "ms";
+  shard.state = Shard::State::kTerminating;
+  shard.term_deadline = now + options_.term_grace;
+  shard.death_clock_running = true;
+  shard.death_time = now;  // Recovery latency counts from *detection*.
+  ::kill(shard.pid, SIGTERM);
+}
+
+void LocprivService::handle_death(Shard& shard, int status) {
+  // Salvage what the child fully wrote before dying: complete response
+  // frames (a snapshot published just before a crash is valid — the file
+  // was committed atomically before the response) and the stderr tail.
+  for (const bool is_resp : {true, false}) {
+    const int fd = is_resp ? shard.resp_fd : shard.err_fd;
+    if (fd < 0) continue;
+    char chunk[65536];
+    for (;;) {
+      const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+      if (got > 0) {
+        if (is_resp)
+          shard.decoder.feed(chunk, static_cast<std::size_t>(got));
+        else
+          shard.stderr_tail.append(chunk, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got < 0 && errno == EINTR) continue;
+      break;
+    }
+  }
+  std::vector<std::string> fields;
+  while (shard.decoder.next(fields)) dispatch_response(shard, fields);
+
+  shard.pid = -1;
+  close_fd(shard.cmd_fd);
+  close_fd(shard.resp_fd);
+  close_fd(shard.err_fd);
+
+  if (shard.state == Shard::State::kDrained ||
+      shard.state == Shard::State::kQuarantined)
+    return;  // Expected exit after drain, or already written off.
+
+  ++stats_.shard_deaths;
+  ++shard.deaths;
+  const std::string cause = describe_status(status);
+  shard.last_failure =
+      shard.last_failure.empty() ? cause : shard.last_failure + "; " + cause;
+  shard.pending.clear();
+  shard.report_ready = false;
+  shard.report_rows.clear();
+  shard.recovering = true;
+  if (!shard.death_clock_running) {
+    shard.death_clock_running = true;
+    shard.death_time = Clock::now();
+  }
+  LOCPRIV_LOG(kWarn, "locprivd")
+      << shard.name << " died (" << cause << "), death " << shard.deaths
+      << "/" << options_.max_respawns + 1;
+
+  if (shard.deaths > options_.max_respawns) {
+    quarantine(shard, "flapping: " + std::to_string(shard.deaths) +
+                          " deaths exceeded the respawn budget of " +
+                          std::to_string(options_.max_respawns));
+    return;
+  }
+  // Deterministic backoff, same jitter derivation as supervised cells.
+  harness::SupervisorOptions backoff;
+  backoff.backoff_base = options_.backoff_base;
+  backoff.backoff_seed = options_.backoff_seed;
+  shard.state = Shard::State::kDead;
+  shard.respawn_at = Clock::now() +
+                     harness::backoff_delay(backoff, shard.name,
+                                            shard.deaths + 1);
+}
+
+void LocprivService::quarantine(Shard& shard, std::string reason) {
+  if (shard.pid > 0) {
+    ::kill(shard.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(shard.pid, &status, 0);
+    shard.pid = -1;
+  }
+  close_fd(shard.cmd_fd);
+  close_fd(shard.resp_fd);
+  close_fd(shard.err_fd);
+  std::vector<std::string> details;
+  details.push_back(std::move(reason));
+  if (!shard.last_failure.empty())
+    details.push_back("last failure: " + shard.last_failure);
+  const std::string tail = shard.stderr_tail.one_line();
+  if (!tail.empty()) details.push_back("stderr: " + tail);
+  ledger_->record_quarantine(shard.name, details);
+  shard.state = Shard::State::kQuarantined;
+  shard.pending.clear();
+  shard.retained.clear();
+  shard.report_ready = false;
+  shard.report_rows.clear();
+  shard.recovering = false;
+  LOCPRIV_LOG(kError, "locprivd") << shard.name << " quarantined";
+}
+
+void LocprivService::dispatch_response(Shard& shard,
+                                       const std::vector<std::string>& fields) {
+  if (fields.empty()) return;
+  const std::string& verb = fields[0];
+  if (!shard.pending.empty() && shard.pending.front().verb == verb)
+    shard.pop_op();
+
+  if (verb == wire::kRspPong && fields.size() >= 4) {
+    shard.ingested = parse_u64(fields[2]);
+    shard.state_bytes = static_cast<std::size_t>(parse_u64(fields[3]));
+    std::size_t total = 0;
+    for (const auto& owned : shards_) total += owned->state_bytes;
+    stats_.state_bytes = total;
+    if (shard.recovering) {
+      RecoveryRecord record;
+      record.shard = shard.index;
+      record.incarnation = shard.incarnation;
+      record.latency_ms = ms_between(shard.death_time, Clock::now());
+      stats_.recoveries.push_back(record);
+      shard.recovering = false;
+      shard.death_clock_running = false;
+      shard.last_failure.clear();
+      LOCPRIV_LOG(kInfo, "locprivd")
+          << shard.name << " recovered in "
+          << static_cast<long>(record.latency_ms) << "ms";
+    }
+  } else if (verb == wire::kRspRestored && fields.size() >= 4) {
+    if (fields[3] != "ok")
+      quarantine(shard, "snapshot restore failed: " + fields[3]);
+  } else if ((verb == wire::kRspSnapped || verb == wire::kRspDrained) &&
+             fields.size() >= 6) {
+    record_snapshot(shard, fields);
+    if (verb == wire::kRspDrained) shard.state = Shard::State::kDrained;
+  } else if (verb == wire::kRspReports && fields.size() >= 4) {
+    const std::size_t rows = static_cast<std::size_t>(parse_u64(fields[2]));
+    const std::size_t cols = static_cast<std::size_t>(parse_u64(fields[3]));
+    shard.report_rows.clear();
+    if (fields.size() >= 4 + rows * cols) {
+      for (std::size_t r = 0; r < rows; ++r)
+        shard.report_rows.emplace_back(
+            fields.begin() + static_cast<std::ptrdiff_t>(4 + r * cols),
+            fields.begin() + static_cast<std::ptrdiff_t>(4 + (r + 1) * cols));
+      shard.report_ready = true;
+    }
+  }
+}
+
+std::filesystem::path LocprivService::snapshot_path(
+    const Shard& shard, std::uint64_t snap_seq) const {
+  return run_dir_ /
+         (shard.name + ".snap." + std::to_string(snap_seq) + ".dat");
+}
+
+void LocprivService::queue_snapshot(Shard& shard, const char* verb) {
+  const std::uint64_t snap_seq =
+      std::max(shard.snap_seq, shard.queued_snap_seq) + 1;
+  shard.queued_snap_seq = snap_seq;
+  send(shard, {verb, std::to_string(snap_seq),
+               snapshot_path(shard, snap_seq).string()});
+  shard.push_op(std::string(verb) == wire::kCmdDrain ? wire::kRspDrained
+                                                     : wire::kRspSnapped,
+                0, options_.op_timeout);
+}
+
+void LocprivService::queue_ping(Shard& shard) {
+  const std::uint64_t token = ++next_token_;
+  send(shard, {wire::kCmdPing, std::to_string(token)});
+  shard.push_op(wire::kRspPong, token, options_.ping_timeout);
+  shard.last_ping_sent = Clock::now();
+}
+
+void LocprivService::record_snapshot(Shard& shard,
+                                     const std::vector<std::string>& fields) {
+  const std::uint64_t snap_seq = parse_u64(fields[1]);
+  const std::uint64_t last_seq = parse_u64(fields[2]);
+  const std::string file = snapshot_path(shard, snap_seq).string();
+  // Key per seq — the ledger refuses duplicate cells, which is exactly the
+  // invariant: one journal line per published snapshot.
+  ledger_->record(shard.name + "/snap/" + std::to_string(snap_seq),
+                  {file, fields[2], fields[3], fields[4], fields[5]});
+  ++stats_.snapshots;
+  shard.snap_seq = snap_seq;
+  shard.snap_last_seq = last_seq;
+  shard.restore_file = file;
+  shard.restore_expect_seq = snap_seq;
+  shard.next_snapshot_at = Clock::now() + options_.snapshot_interval;
+  // The journaled snapshot now covers every batch up to last_seq: the
+  // parent's retention obligation ends there.
+  while (!shard.retained.empty() && shard.retained.front().seq <= last_seq)
+    shard.retained.pop_front();
+  // Keep the previous snapshot as the resume fallback; reclaim older ones.
+  if (snap_seq >= 3) {
+    std::error_code ec;
+    std::filesystem::remove(snapshot_path(shard, snap_seq - 2), ec);
+  }
+}
+
+std::vector<std::vector<std::string>> LocprivService::collect_reports() {
+  for (auto& owned : shards_) {
+    owned->report_ready = false;
+    owned->report_rows.clear();
+  }
+  // A shard may die mid-report and be respawned (restore + replay) several
+  // times; the overall budget covers the full respawn allowance.
+  const auto deadline =
+      Clock::now() + options_.op_timeout * (options_.max_respawns + 1);
+  for (;;) {
+    bool all_ready = true;
+    for (auto& owned : shards_) {
+      Shard& shard = *owned;
+      if (shard.state == Shard::State::kQuarantined) continue;
+      if (shard.report_ready) continue;
+      all_ready = false;
+      if (shard.state == Shard::State::kRunning &&
+          !shard.has_pending(wire::kRspReports)) {
+        const std::uint64_t token = ++next_token_;
+        send(shard, {wire::kCmdReport, std::to_string(token)});
+        shard.push_op(wire::kRspReports, token, options_.op_timeout);
+      }
+    }
+    if (all_ready) break;
+    if (Clock::now() >= deadline)
+      throw Error(ErrorCode::kDeadline,
+                  "shard reports did not complete within the respawn budget");
+    tick(std::chrono::milliseconds(20));
+  }
+
+  std::map<std::string, const std::vector<std::string>*> by_user;
+  for (const auto& owned : shards_)
+    for (const auto& row : owned->report_rows)
+      if (!row.empty()) by_user[row.front()] = &row;
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(by_user.size());
+  for (std::size_t i = 0; i < analyzer_.user_count(); ++i) {
+    const auto it = by_user.find(analyzer_.reference(i).user_id);
+    if (it != by_user.end()) rows.push_back(*it->second);
+  }
+  return rows;
+}
+
+void LocprivService::snapshot_now() {
+  for (auto& owned : shards_) {
+    Shard& shard = *owned;
+    if (shard.state == Shard::State::kRunning &&
+        !shard.has_pending(wire::kRspSnapped) &&
+        !shard.has_pending(wire::kRspDrained))
+      queue_snapshot(shard, wire::kCmdSnapshot);
+  }
+}
+
+void LocprivService::drain() {
+  if (drained_) return;
+  const auto deadline =
+      Clock::now() + options_.op_timeout * (options_.max_respawns + 2);
+  for (;;) {
+    bool all_done = true;
+    for (auto& owned : shards_) {
+      Shard& shard = *owned;
+      if (shard.state == Shard::State::kQuarantined) continue;
+      if (shard.state == Shard::State::kDrained && shard.pid <= 0) continue;
+      all_done = false;
+      // Dead shards are respawned by the pump (restore + replay) and then
+      // drained, so their retained batches reach a final snapshot too.
+      if (shard.state == Shard::State::kRunning &&
+          !shard.has_pending(wire::kRspDrained))
+        queue_snapshot(shard, wire::kCmdDrain);
+    }
+    if (all_done) break;
+    if (Clock::now() >= deadline)
+      throw Error(ErrorCode::kDeadline,
+                  "drain did not complete within the respawn budget");
+    tick(std::chrono::milliseconds(20));
+  }
+  ledger_->sync();
+  drained_ = true;
+  LOCPRIV_LOG(kInfo, "locprivd")
+      << "drained: " << stats_.snapshots << " snapshots journaled, run "
+      << "directory resumable";
+}
+
+std::vector<std::string> LocprivService::quarantined_shards() const {
+  std::vector<std::string> names;
+  for (const auto& owned : shards_)
+    if (owned->state == Shard::State::kQuarantined)
+      names.push_back(owned->name);
+  return names;
+}
+
+std::uint64_t LocprivService::restored_seq(unsigned shard) const {
+  return shards_.at(shard)->restored_seq;
+}
+
+void LocprivService::request_shutdown(int /*signal*/) { g_shutdown = 1; }
+
+bool LocprivService::shutdown_requested() { return g_shutdown != 0; }
+
+void LocprivService::clear_shutdown() { g_shutdown = 0; }
+
+}  // namespace locpriv::service

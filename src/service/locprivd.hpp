@@ -1,0 +1,203 @@
+// locprivd: the always-on sharded audit service. Users are sharded by id
+// hash across fork(2)ed worker processes; the parent is a single-threaded
+// event loop that feeds batched fix submissions down length-prefixed pipes,
+// supervises shard health with heartbeat pings (SIGTERM -> grace -> SIGKILL
+// escalation on a miss), respawns dead shards with deterministic seeded
+// backoff, quarantines a shard that flaps past its respawn budget, and
+// checkpoints each shard's state with periodic snapshots (AtomicFileWriter
+// publish + RunLedger journal), so a respawned shard — or a whole restarted
+// service — resumes from its last snapshot with no metric divergence.
+//
+// Delivery contract: every accepted submit batch carries a per-shard
+// sequence number and is retained in the parent until a snapshot covering
+// it is journaled. A respawned shard restores the latest journaled snapshot
+// and has the retained suffix replayed; the shard applies a batch exactly
+// once (sequence-number dedupe), so its per-user fix streams — and
+// therefore the PoI/pattern/metric pipeline outputs — are byte-identical
+// to an unfailing run's. SIGINT/SIGTERM drain snapshots every shard and
+// leave the run directory resumable (exit 7); a resume under a different
+// shard count is refused (exit 6) because the user->shard mapping would
+// scatter the journaled state.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/harness/run_ledger.hpp"
+#include "service/rolling_tail.hpp"
+#include "service/wire.hpp"
+#include "sim/faults/process_plan.hpp"
+
+namespace locpriv::service {
+
+struct ServiceOptions {
+  unsigned shards = 2;
+  /// Audit interval (seconds) the shard pipeline reports at.
+  std::int64_t interval_s = 60;
+  /// Dataset seed + scale, pinned into the run-ledger identity.
+  std::uint64_t seed = 0;
+  std::string scale;
+  /// Heartbeat ping cadence per shard.
+  std::chrono::milliseconds heartbeat{1000};
+  /// An unanswered ping older than this marks the shard unhealthy.
+  std::chrono::milliseconds ping_timeout{5000};
+  /// Deadline for restore/snapshot/report/drain round trips (these may run
+  /// the full metric pipeline, so the budget is separate from pings).
+  std::chrono::milliseconds op_timeout{120000};
+  /// SIGTERM -> SIGKILL grace for unhealthy or draining shards.
+  std::chrono::milliseconds term_grace{2000};
+  /// Snapshot cadence per shard; 0 snapshots only on drain/snapshot_now().
+  std::chrono::milliseconds snapshot_interval{10000};
+  /// Respawns a shard may consume before it is quarantined as flapping.
+  int max_respawns = 5;
+  /// Base + seed of the deterministic respawn backoff (supervisor's
+  /// backoff_delay over the shard name and incarnation).
+  std::chrono::milliseconds backoff_base{100};
+  std::uint64_t backoff_seed = 0;
+  /// RLIMIT_AS (MiB) / RLIMIT_CPU (s) applied inside each shard; 0 = off.
+  std::size_t shard_rlimit_mb = 0;
+  unsigned shard_cpu_s = 0;
+  /// Rolling stderr bytes retained per shard lifetime (all incarnations).
+  std::size_t stderr_tail_cap = 4096;
+  /// Deterministic shard misbehaviour for failover rehearsal: plan keys are
+  /// shard names ("shard0"), the attempt window counts incarnations.
+  sim::ProcessFaultPlan fault_plan;
+  /// Submit batches into the sabotaged incarnation before the fault fires.
+  int fault_after_batches = 3;
+};
+
+/// One recovered shard failure, for the bench's recovery-latency metric.
+struct RecoveryRecord {
+  unsigned shard = 0;
+  int incarnation = 0;  ///< The incarnation that replaced the dead one.
+  double latency_ms = 0.0;
+};
+
+struct ServiceStats {
+  std::uint64_t batches_submitted = 0;  ///< Accepted into a shard stream.
+  std::uint64_t batches_dropped = 0;    ///< Resume-dedupe or quarantined shard.
+  std::uint64_t fixes_submitted = 0;
+  std::uint64_t snapshots = 0;
+  int shard_deaths = 0;
+  int respawns = 0;
+  std::vector<RecoveryRecord> recoveries;
+  /// Latest shard-reported resident state bytes, summed over live shards.
+  std::size_t state_bytes = 0;
+};
+
+class LocprivService {
+ public:
+  /// Spawns the shards. `resume` re-opens an existing run directory and
+  /// restores each shard from its latest journaled snapshot; the ledger
+  /// header pins seed, scale, and shard topology, so a mismatched resume
+  /// throws Error(kResume) (exit 6). The analyzer must outlive the service
+  /// (shards inherit it copy-on-write through fork).
+  LocprivService(ServiceOptions options, const core::PrivacyAnalyzer& analyzer,
+                 std::filesystem::path run_dir, bool resume);
+
+  /// SIGKILLs any still-running shards (a drained service has none).
+  ~LocprivService();
+
+  LocprivService(const LocprivService&) = delete;
+  LocprivService& operator=(const LocprivService&) = delete;
+
+  static std::string shard_name(unsigned shard);
+  unsigned shard_of(const std::string& user_id) const;
+
+  /// Routes one batch of fixes (non-decreasing timestamps, appended after
+  /// everything previously submitted for the user) to the owning shard.
+  /// Returns false when the batch was dropped: its sequence number is
+  /// already covered by a restored snapshot (resume dedupe) or the shard is
+  /// quarantined. Deterministic resubmission of the same schedule therefore
+  /// converges to exactly-once application.
+  bool submit(const std::string& user_id,
+              const std::vector<trace::TracePoint>& fixes);
+
+  /// Pumps the event loop once: flushes queued commands, drains shard
+  /// responses and stderr, reaps deaths, escalates unhealthy shards,
+  /// respawns (with backoff) or quarantines dead ones, and triggers
+  /// snapshot cadence. Blocks at most `budget`.
+  void tick(std::chrono::milliseconds budget = std::chrono::milliseconds(20));
+
+  /// Queues an immediate snapshot round on every healthy shard.
+  void snapshot_now();
+
+  /// Runs the audit pipeline in every shard and returns one row per user in
+  /// analyzer order (users owned by quarantined shards are omitted). Rows
+  /// are the audit-all field layout. Drives tick() internally; survives
+  /// shard deaths mid-report by re-asking after recovery. Throws
+  /// Error(kDeadline) if a shard cannot produce a report within its respawn
+  /// budget.
+  std::vector<std::vector<std::string>> collect_reports();
+
+  /// Graceful drain: final snapshot on every shard, clean child exits,
+  /// ledger sync. The run directory is left resumable. Idempotent.
+  void drain();
+
+  const ServiceStats& stats() const { return stats_; }
+  const ServiceOptions& options() const { return options_; }
+  std::vector<std::string> quarantined_shards() const;
+
+  /// Submit-batch watermark a shard restored from its snapshot at startup
+  /// (0 = fresh). Exposed for resume-aware drivers and tests.
+  std::uint64_t restored_seq(unsigned shard) const;
+
+  /// Async-signal-safe drain request, installable as a SIGINT/SIGTERM
+  /// handler by the serve front end. Checked by drivers between batches.
+  static void request_shutdown(int signal);
+  static bool shutdown_requested();
+  static void clear_shutdown();
+
+ private:
+  struct PendingOp {
+    std::string verb;  ///< Expected *response* verb.
+    std::uint64_t token = 0;
+    /// Per-op response budget. The deadline only starts ticking when the op
+    /// reaches the front of the queue (shards answer strictly in order), so
+    /// a ping queued behind a slow report is not falsely timed out.
+    std::chrono::milliseconds budget{0};
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  struct RetainedBatch {
+    std::uint64_t seq = 0;
+    std::string frame;  ///< Encoded submit message, replayed verbatim.
+    std::size_t fixes = 0;
+  };
+
+  struct Shard;
+
+  void spawn(Shard& shard);
+  void send(Shard& shard, const std::vector<std::string>& fields);
+  void pump(std::chrono::milliseconds timeout);
+  void resume_pointer(Shard& shard);
+  void handle_death(Shard& shard, int status);
+  void quarantine(Shard& shard, std::string reason);
+  void dispatch_response(Shard& shard, const std::vector<std::string>& fields);
+  void queue_snapshot(Shard& shard, const char* verb);
+  void queue_ping(Shard& shard);
+  void flush_out(Shard& shard);
+  void health_check(Shard& shard);
+  void record_snapshot(Shard& shard, const std::vector<std::string>& fields);
+  std::filesystem::path snapshot_path(const Shard& shard,
+                                      std::uint64_t snap_seq) const;
+
+  ServiceOptions options_;
+  const core::PrivacyAnalyzer& analyzer_;
+  std::filesystem::path run_dir_;
+  std::unique_ptr<harness::RunLedger> ledger_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::map<std::string, unsigned> user_shard_;  ///< Routing cache.
+  ServiceStats stats_;
+  std::uint64_t next_token_ = 0;
+  bool drained_ = false;
+};
+
+}  // namespace locpriv::service

@@ -1,0 +1,48 @@
+// Bounded rolling capture of a shard's stderr. A crash-looping shard can
+// emit unbounded diagnostics across its respawns; the service keeps only the
+// last `cap` bytes per shard *lifetime* (all incarnations share one tail),
+// so captured stderr can never grow service memory past shards x cap.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace locpriv::service {
+
+class RollingTail {
+ public:
+  explicit RollingTail(std::size_t cap) : cap_(cap) {}
+
+  void append(const char* data, std::size_t size) {
+    total_ += size;
+    if (cap_ == 0) return;
+    if (size >= cap_) {
+      buffer_.assign(data + (size - cap_), cap_);
+      return;
+    }
+    buffer_.append(data, size);
+    if (buffer_.size() > cap_) buffer_.erase(0, buffer_.size() - cap_);
+  }
+
+  /// The retained tail, newlines flattened to spaces so it can live inside
+  /// one-line ledger records.
+  std::string one_line() const {
+    std::string flat = buffer_;
+    std::replace(flat.begin(), flat.end(), '\n', ' ');
+    while (!flat.empty() && flat.back() == ' ') flat.pop_back();
+    return flat;
+  }
+
+  const std::string& text() const { return buffer_; }
+  std::size_t capacity() const { return cap_; }
+  std::size_t retained() const { return buffer_.size(); }
+  std::size_t total_seen() const { return total_; }
+
+ private:
+  std::size_t cap_;
+  std::string buffer_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace locpriv::service

@@ -1,0 +1,26 @@
+// The shard worker body. Runs inside a process fork(2)ed by LocprivService:
+// a blocking command loop over the shard's pipe pair that applies submit
+// batches to per-user fix state, answers heartbeat pings, writes snapshots,
+// runs the audit pipeline for reports, and exits on drain. Never returns —
+// all exits are _exit(2), so the cloned parent stack is never unwound.
+#pragma once
+
+#include "core/analyzer.hpp"
+#include "service/locprivd.hpp"
+
+namespace locpriv::service {
+
+struct ShardChildConfig {
+  unsigned shard = 0;
+  std::string name;     ///< "shard<k>", the fault-plan key.
+  int incarnation = 1;  ///< 1-based spawn count, the fault attempt window.
+  int cmd_fd = -1;      ///< Read end: commands from the parent.
+  int resp_fd = -1;     ///< Write end: responses to the parent.
+  int err_fd = -1;      ///< Write end: captured stderr.
+};
+
+[[noreturn]] void shard_child_main(const ShardChildConfig& config,
+                                   const core::PrivacyAnalyzer& analyzer,
+                                   const ServiceOptions& options);
+
+}  // namespace locpriv::service

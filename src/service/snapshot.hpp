@@ -1,0 +1,50 @@
+// Shard snapshot codec. A snapshot is the complete per-user collected-fix
+// state of one shard at a submit-sequence watermark, serialized to text with
+// hexfloat coordinates (exact double round-trip, so a restored shard's
+// metrics are byte-identical to an uninterrupted one's) and guarded by an
+// FNV-1a checksum over the body. Snapshots are published through
+// AtomicFileWriter, so a crash mid-write leaves the previous complete
+// version; the checksum catches the remaining corruption class (a stale or
+// hand-edited file), and parse failures surface as Error(kResume) so the
+// caller can fall back or refuse loudly instead of diverging silently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trajectory.hpp"
+
+namespace locpriv::service {
+
+struct ShardSnapshot {
+  unsigned shard = 0;          ///< Owning shard index.
+  std::uint64_t seq = 0;       ///< Snapshot sequence number (1-based).
+  std::uint64_t last_seq = 0;  ///< Highest applied submit-batch sequence.
+  /// Collected fixes per user, keyed by user id (std::map: serialization
+  /// order must be deterministic).
+  std::map<std::string, std::vector<trace::TracePoint>> users;
+
+  std::size_t fix_count() const;
+};
+
+/// Exact-round-trip text for a coordinate ("%a" hexfloat).
+std::string format_coord(double value);
+
+/// Serializes a snapshot, checksum header included.
+std::string encode_snapshot(const ShardSnapshot& snapshot);
+
+/// Checksum of an encoded snapshot's body, as recorded in the run ledger.
+std::string snapshot_checksum(const std::string& encoded);
+
+/// Parses an encoded snapshot. Throws Error(kResume) on a bad header,
+/// checksum mismatch, or truncated body — a snapshot either loads exactly
+/// or not at all.
+ShardSnapshot parse_snapshot(const std::string& encoded);
+
+/// Reads and parses a snapshot file. Throws Error(kResume) when the file is
+/// missing, unreadable, or fails parse_snapshot().
+ShardSnapshot load_snapshot(const std::string& path);
+
+}  // namespace locpriv::service

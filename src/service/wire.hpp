@@ -1,0 +1,55 @@
+// Wire format for the locprivd shard pipes. Messages are framed as
+// u32 payload length, then a payload of u32 field count followed by
+// (u32 length, bytes) per field — the supervisor's one-shot result-frame
+// layout generalized to a *stream*: a pipe carries many messages, partial
+// reads are the norm, and the decoder reassembles them incrementally.
+// Everything is process-local (parent and its forked shards share byte
+// order), so fields travel verbatim with no escaping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locpriv::service::wire {
+
+// Command verbs (parent -> shard). Fields after the verb are positional.
+inline constexpr char kCmdRestore[] = "restore";   ///< file, expect_seq
+inline constexpr char kCmdSubmit[] = "submit";     ///< seq, user, n, (lat lon ts)*n
+inline constexpr char kCmdPing[] = "ping";         ///< token
+inline constexpr char kCmdSnapshot[] = "snapshot"; ///< snap_seq, file
+inline constexpr char kCmdReport[] = "report";     ///< token
+inline constexpr char kCmdDrain[] = "drain";       ///< snap_seq, file
+
+// Response verbs (shard -> parent).
+inline constexpr char kRspRestored[] = "restored"; ///< last_seq, fixes, status
+inline constexpr char kRspPong[] = "pong";         ///< token, ingested, state_bytes
+inline constexpr char kRspSnapped[] = "snapped";   ///< snap_seq, last_seq, users, fixes, checksum
+inline constexpr char kRspReports[] = "reports";   ///< token, rows, cols, fields...
+inline constexpr char kRspDrained[] = "drained";   ///< snap_seq, last_seq, users, fixes, checksum
+
+/// Serializes one message: outer u32 payload length, inner field frame.
+std::string encode_message(const std::vector<std::string>& fields);
+
+/// Incremental decoder over a pipe byte stream. Feed whatever arrived;
+/// next() pops complete messages in order. A malformed length or field
+/// structure latches corrupt() — the stream cannot be trusted past that.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t size);
+
+  /// Extracts the next complete message into `fields`; false when the
+  /// buffer holds no complete message (or the stream is corrupt).
+  bool next(std::vector<std::string>& fields);
+
+  bool corrupt() const { return corrupt_; }
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace locpriv::service::wire

@@ -35,6 +35,13 @@ std::string_view log_level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_threshold.store(level, std::memory_order_relaxed); }
 
+std::FILE* set_log_sink_for_testing(std::FILE* sink) {
+  const MutexLock lock(g_sink_mutex);
+  std::FILE* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
 LogLevel log_level() { return g_threshold.load(std::memory_order_relaxed); }
 
 // The guard acquires a TU-local capability the header cannot name, so the

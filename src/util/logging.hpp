@@ -4,6 +4,7 @@
 // over one translation-unit-local state object, configured once at startup.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -23,6 +24,11 @@ LogLevel log_level();
 
 /// Emits one formatted line to the log sink if `level` passes the threshold.
 void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Redirects the sink (nullptr restores stderr) and returns the previous
+/// one. For tests that need to hammer the logger without spamming the test
+/// output — e.g. the fork-safety regression around shard respawn.
+std::FILE* set_log_sink_for_testing(std::FILE* sink);
 
 /// Fork-safety bracket: holds the sink mutex for its lifetime so no other
 /// thread can be mid-emission at the instant of a fork(2) — a child forked

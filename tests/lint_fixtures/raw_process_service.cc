@@ -1,0 +1,13 @@
+// Full shard-lifecycle surface (fork + kill + waitpid): flagged as three
+// raw-process findings in library code, but legal under src/service/ where
+// locprivd supervises its own shard children.
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+int respawn_shard(int old_pid) {
+  ::kill(old_pid, SIGTERM);
+  int status = 0;
+  ::waitpid(old_pid, &status, 0);
+  return ::fork();
+}

@@ -77,6 +77,21 @@ TEST(LocprivLint, HarnessDirectoryMayForkAndReap) {
   EXPECT_TRUE(lint_source("src/core/harness/supervisor.cpp", content).empty());
 }
 
+TEST(LocprivLint, ServiceDirectoryMayForkAndReap) {
+  // locprivd shards users across fork(2)-managed workers, so src/service/
+  // shares the raw-process waiver — but only that one: the raw-write rule
+  // still applies there (snapshots must go through AtomicFileWriter).
+  const std::string content = read_fixture("raw_process_service.cc");
+  const auto library = lint_source("src/sample.cpp", content);
+  EXPECT_EQ(library.size(), 3u);
+  for (const Finding& finding : library) EXPECT_EQ(finding.rule, "raw-process");
+  EXPECT_TRUE(lint_source("src/service/locprivd.cpp", content).empty());
+  const auto raw_write = lint_source("src/service/snapshot.cpp",
+                                     read_fixture("raw_write_bad.cc"));
+  ASSERT_EQ(raw_write.size(), 1u);
+  EXPECT_EQ(raw_write[0].rule, "raw-write");
+}
+
 TEST(LocprivLint, GlobalQualifiedSyscallStillFlagged) {
   // `::fork()` is the real syscall even though it is qualified; only a
   // class-qualified name (`Rng::fork`) passes as a C++ method.

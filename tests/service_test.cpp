@@ -1,0 +1,427 @@
+// locprivd tests: the wire codec, the bounded stderr tail, the snapshot
+// codec, and the ServiceFailover battery (suite runs under the `chaos`
+// ctest label) — shard crash/hang recovery with byte-identical metric
+// parity against the batch pipeline, graceful drain + resume, torn-ledger
+// recovery to the previous snapshot, and shard-topology resume pinning.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "core/harness/error.hpp"
+#include "mobility/synthesis.hpp"
+#include "service/driver.hpp"
+#include "service/locprivd.hpp"
+#include "service/rolling_tail.hpp"
+#include "service/snapshot.hpp"
+#include "service/wire.hpp"
+#include "sim/faults/process_plan.hpp"
+
+namespace locpriv::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  // Per-pid: the chaos_locprivd aggregate runs these tests in a second
+  // process concurrently with the ctest-discovered ones under `ctest -j`.
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("locpriv_service_" + name + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------- wire ----
+
+TEST(ServiceWire, MessageRoundTripsThroughDecoder) {
+  const std::vector<std::string> fields = {"submit", "7", "user_03", "2",
+                                           "0x1.5p+5", "-0x1.2p+6", "1234"};
+  const std::string encoded = wire::encode_message(fields);
+  wire::FrameDecoder decoder;
+  decoder.feed(encoded.data(), encoded.size());
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(decoder.next(decoded));
+  EXPECT_EQ(decoded, fields);
+  EXPECT_FALSE(decoder.next(decoded));
+  EXPECT_FALSE(decoder.corrupt());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(ServiceWire, DecoderReassemblesByteByByteAndBackToBack) {
+  const std::vector<std::string> first = {"ping", "42"};
+  const std::vector<std::string> second = {"pong", "42", "100", "2048"};
+  const std::string stream =
+      wire::encode_message(first) + wire::encode_message(second);
+  wire::FrameDecoder decoder;
+  std::vector<std::vector<std::string>> seen;
+  std::vector<std::string> fields;
+  for (const char byte : stream) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(fields)) seen.push_back(fields);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], first);
+  EXPECT_EQ(seen[1], second);
+}
+
+TEST(ServiceWire, OversizedPayloadLengthLatchesCorrupt) {
+  // An outer length far past the sanity cap must poison the stream, not
+  // make the decoder wait forever for 4 GiB that will never arrive.
+  const char bogus[4] = {'\xff', '\xff', '\xff', '\xff'};
+  wire::FrameDecoder decoder;
+  decoder.feed(bogus, sizeof(bogus));
+  std::vector<std::string> fields;
+  EXPECT_FALSE(decoder.next(fields));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+// -------------------------------------------------------- rolling tail ----
+
+TEST(ServiceRollingTail, KeepsOnlyTheLastCapBytes) {
+  RollingTail tail(8);
+  tail.append("abcdefgh", 8);
+  tail.append("XY", 2);
+  EXPECT_EQ(tail.text(), "cdefghXY");
+  EXPECT_EQ(tail.retained(), 8u);
+  EXPECT_EQ(tail.total_seen(), 10u);
+}
+
+TEST(ServiceRollingTail, SingleAppendLargerThanCapIsTruncatedFromTheFront) {
+  RollingTail tail(4);
+  const std::string burst(1 << 20, 'x');
+  tail.append(burst.data(), burst.size());
+  tail.append("tail", 4);
+  EXPECT_EQ(tail.text(), "tail");
+  EXPECT_EQ(tail.total_seen(), burst.size() + 4);
+  // A crash-looping shard can scream forever; memory stays at cap.
+  EXPECT_LE(tail.retained(), tail.capacity());
+}
+
+TEST(ServiceRollingTail, OneLineFlattensNewlines) {
+  RollingTail tail(64);
+  tail.append("first\nsecond\n", 13);
+  EXPECT_EQ(tail.one_line(), "first second");
+}
+
+// ------------------------------------------------------------ snapshot ----
+
+ShardSnapshot sample_snapshot() {
+  ShardSnapshot snapshot;
+  snapshot.shard = 1;
+  snapshot.seq = 3;
+  snapshot.last_seq = 17;
+  trace::TracePoint fix;
+  fix.position.lat_deg = 39.9761234567891;  // Not representable in decimal.
+  fix.position.lon_deg = 116.33071234567892;
+  fix.timestamp_s = 1496641200;
+  snapshot.users["007"].push_back(fix);
+  fix.position.lat_deg = -0.1 + 0.2;  // Classic binary-vs-decimal residue.
+  fix.timestamp_s += 60;
+  snapshot.users["007"].push_back(fix);
+  snapshot.users["012"] = {};
+  return snapshot;
+}
+
+TEST(ServiceSnapshot, RoundTripsExactDoubles) {
+  const ShardSnapshot original = sample_snapshot();
+  const ShardSnapshot restored = parse_snapshot(encode_snapshot(original));
+  EXPECT_EQ(restored.shard, original.shard);
+  EXPECT_EQ(restored.seq, original.seq);
+  EXPECT_EQ(restored.last_seq, original.last_seq);
+  ASSERT_EQ(restored.users.size(), original.users.size());
+  const auto& a = original.users.at("007");
+  const auto& b = restored.users.at("007");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise equality, not approximate: hexfloat must round-trip exactly
+    // or restored shards would drift from the batch pipeline.
+    EXPECT_EQ(a[i].position.lat_deg, b[i].position.lat_deg);
+    EXPECT_EQ(a[i].position.lon_deg, b[i].position.lon_deg);
+    EXPECT_EQ(a[i].timestamp_s, b[i].timestamp_s);
+  }
+}
+
+TEST(ServiceSnapshot, FlippedBodyByteFailsTheChecksum) {
+  std::string encoded = encode_snapshot(sample_snapshot());
+  encoded[encoded.size() / 2] ^= 0x20;
+  try {
+    parse_snapshot(encoded);
+    FAIL() << "corrupted snapshot parsed";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kResume);
+  }
+}
+
+TEST(ServiceSnapshot, TruncatedBodyIsRefused) {
+  const std::string encoded = encode_snapshot(sample_snapshot());
+  try {
+    parse_snapshot(encoded.substr(0, encoded.size() - 7));
+    FAIL() << "truncated snapshot parsed";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kResume);
+  }
+}
+
+TEST(ServiceSnapshot, MissingFileIsRefused) {
+  try {
+    load_snapshot("/nonexistent/locpriv/snapshot.dat");
+    FAIL() << "missing snapshot loaded";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kResume);
+  }
+}
+
+// ------------------------------------------------------------ failover ----
+
+/// Small shared corpus: analyzer construction is the expensive part, so the
+/// failover battery builds it once.
+const core::PrivacyAnalyzer& test_analyzer() {
+  static const core::PrivacyAnalyzer analyzer = [] {
+    mobility::DatasetConfig dataset;
+    dataset.user_count = 4;
+    dataset.synthesis.days = 2;
+    return core::PrivacyAnalyzer::from_synthetic(
+        core::experiment_analyzer_config(), dataset);
+  }();
+  return analyzer;
+}
+
+ServiceOptions quick_options(unsigned shards) {
+  ServiceOptions options;
+  options.shards = shards;
+  options.interval_s = 60;
+  options.seed = core::kDatasetSeed;
+  options.scale = "4u_t60";
+  options.heartbeat = std::chrono::milliseconds(50);
+  options.ping_timeout = std::chrono::milliseconds(400);
+  options.term_grace = std::chrono::milliseconds(150);
+  options.snapshot_interval = std::chrono::milliseconds(150);
+  options.backoff_base = std::chrono::milliseconds(10);
+  options.backoff_seed = 7;
+  return options;
+}
+
+TrafficOptions quick_traffic() {
+  TrafficOptions traffic;
+  traffic.batch_size = 32;
+  traffic.rounds = 1;
+  return traffic;
+}
+
+void expect_parity(const core::PrivacyAnalyzer& analyzer,
+                   const ServiceOptions& options,
+                   const TrafficOptions& traffic,
+                   const std::vector<std::vector<std::string>>& rows) {
+  EXPECT_EQ(rows.size(), analyzer.user_count());
+  const std::vector<std::string> mismatched =
+      parity_mismatches(analyzer, options.interval_s, traffic, rows);
+  EXPECT_TRUE(mismatched.empty())
+      << mismatched.size() << " users diverged, first: "
+      << (mismatched.empty() ? "" : mismatched.front());
+}
+
+TEST(ServiceFailover, HealthyRunMatchesBatchPipelineByteForByte) {
+  const auto& analyzer = test_analyzer();
+  const auto options = quick_options(2);
+  const auto traffic = quick_traffic();
+  LocprivService daemon(options, analyzer, fresh_dir("healthy"), false);
+  const TrafficOutcome outcome = drive_traffic(daemon, analyzer, traffic);
+  EXPECT_FALSE(outcome.interrupted);
+  EXPECT_EQ(outcome.accepted, outcome.batches);
+  expect_parity(analyzer, options, traffic, daemon.collect_reports());
+  daemon.drain();
+  EXPECT_EQ(daemon.stats().shard_deaths, 0);
+  EXPECT_TRUE(daemon.quarantined_shards().empty());
+}
+
+TEST(ServiceFailover, CrashedShardRespawnsFromSnapshotWithParity) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(2);
+  options.fault_plan = sim::ProcessFaultPlan::parse("crash:1@shard0");
+  options.fault_after_batches = 20;
+  auto traffic = quick_traffic();
+  traffic.pace = std::chrono::milliseconds(2);  // Let snapshots land first.
+  LocprivService daemon(options, analyzer, fresh_dir("crash"), false);
+  drive_traffic(daemon, analyzer, traffic);
+  const auto rows = daemon.collect_reports();
+  daemon.drain();
+  EXPECT_GE(daemon.stats().shard_deaths, 1);
+  EXPECT_GE(daemon.stats().respawns, 1);
+  ASSERT_GE(daemon.stats().recoveries.size(), 1u);
+  EXPECT_GT(daemon.stats().recoveries.front().latency_ms, 0.0);
+  EXPECT_TRUE(daemon.quarantined_shards().empty());
+  expect_parity(analyzer, options, traffic, rows);
+}
+
+TEST(ServiceFailover, HangingShardIsEscalatedAndRecovers) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(2);
+  // The hang ignores SIGTERM; only the ping timeout -> grace -> SIGKILL
+  // escalation can reclaim the shard.
+  options.fault_plan = sim::ProcessFaultPlan::parse("hang:1@shard1");
+  options.fault_after_batches = 10;
+  auto traffic = quick_traffic();
+  traffic.pace = std::chrono::milliseconds(1);
+  LocprivService daemon(options, analyzer, fresh_dir("hang"), false);
+  drive_traffic(daemon, analyzer, traffic);
+  const auto rows = daemon.collect_reports();
+  daemon.drain();
+  EXPECT_GE(daemon.stats().shard_deaths, 1);
+  ASSERT_GE(daemon.stats().recoveries.size(), 1u);
+  EXPECT_TRUE(daemon.quarantined_shards().empty());
+  expect_parity(analyzer, options, traffic, rows);
+}
+
+TEST(ServiceFailover, FlappingShardIsQuarantinedAndTheRestSurvive) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(2);
+  options.max_respawns = 1;
+  // Crashes every incarnation: one respawn is allowed, then quarantine.
+  options.fault_plan = sim::ProcessFaultPlan::parse("crash@shard0");
+  options.fault_after_batches = 1;
+  const auto traffic = quick_traffic();
+  LocprivService daemon(options, analyzer, fresh_dir("flap"), false);
+  drive_traffic(daemon, analyzer, traffic);
+  const auto rows = daemon.collect_reports();
+  daemon.drain();
+  ASSERT_EQ(daemon.quarantined_shards(),
+            std::vector<std::string>{"shard0"});
+  EXPECT_EQ(daemon.stats().shard_deaths, 2);  // Budget of 1 respawn + 1.
+  // shard1's users still audit with full parity; shard0's are omitted.
+  std::size_t shard1_users = 0;
+  for (std::size_t i = 0; i < analyzer.user_count(); ++i)
+    if (daemon.shard_of(analyzer.reference(i).user_id) == 1) ++shard1_users;
+  EXPECT_EQ(rows.size(), shard1_users);
+  std::vector<std::string> lost;
+  for (std::size_t i = 0; i < analyzer.user_count(); ++i)
+    if (daemon.shard_of(analyzer.reference(i).user_id) == 0)
+      lost.push_back(analyzer.reference(i).user_id);
+  EXPECT_TRUE(parity_mismatches(analyzer, options.interval_s, traffic, rows,
+                                lost)
+                  .empty());
+}
+
+TEST(ServiceFailover, DrainedRunResumesWithNoMetricDivergence) {
+  const auto& analyzer = test_analyzer();
+  const auto options = quick_options(2);
+  const auto traffic = quick_traffic();
+  const fs::path run_dir = fresh_dir("resume");
+
+  // Leg 1: interrupted mid-schedule after ~half the batches, then drained.
+  std::uint64_t sent = 0;
+  {
+    LocprivService daemon(options, analyzer, run_dir, false);
+    const TrafficOutcome outcome =
+        drive_traffic(daemon, analyzer, traffic, [&] { return ++sent > 40; });
+    EXPECT_TRUE(outcome.interrupted);
+    daemon.drain();  // Exit-7 path: snapshots journaled, dir resumable.
+  }
+
+  // Leg 2: resume replays the same deterministic schedule; everything the
+  // snapshots already cover is deduped, the rest is applied exactly once.
+  LocprivService resumed(options, analyzer, run_dir, true);
+  std::uint64_t restored_total = 0;
+  for (unsigned k = 0; k < options.shards; ++k)
+    restored_total += resumed.restored_seq(k);
+  EXPECT_GT(restored_total, 0u) << "resume did not restore any snapshot";
+  const TrafficOutcome replay = drive_traffic(resumed, analyzer, traffic);
+  EXPECT_GT(resumed.stats().batches_dropped, 0u) << "no resume dedupe hit";
+  EXPECT_LT(replay.accepted, replay.batches);
+  expect_parity(analyzer, options, traffic, resumed.collect_reports());
+  resumed.drain();
+}
+
+TEST(ServiceFailover, TornLedgerTailFallsBackToPreviousSnapshot) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.snapshot_interval = std::chrono::milliseconds(50);
+  const auto traffic = quick_traffic();
+  auto paced = traffic;
+  paced.pace = std::chrono::milliseconds(1);  // Several snapshot cadences.
+  const fs::path run_dir = fresh_dir("torn");
+  std::uint64_t full_watermark = 0;
+  {
+    LocprivService daemon(options, analyzer, run_dir, false);
+    drive_traffic(daemon, analyzer, paced);
+    daemon.drain();
+    ASSERT_GE(daemon.stats().snapshots, 2u);
+  }
+
+  // Tear the ledger mid-way through its final line — the crash-window the
+  // fsync'd single-write discipline leaves possible. RunLedger truncates
+  // the torn record on reopen, so the last journaled snapshot becomes the
+  // previous one, and the service must restore from *that*.
+  const fs::path ledger = run_dir / "ledger.jsonl";
+  std::ifstream in(ledger, std::ios::binary);
+  std::stringstream content;
+  content << in.rdbuf();
+  in.close();
+  const std::string text = content.str();
+  const std::size_t last_line =
+      text.rfind('\n', text.size() - 2);  // Start of the final record.
+  ASSERT_NE(last_line, std::string::npos);
+  const std::string torn =
+      text.substr(0, last_line + 1 + (text.size() - last_line - 1) / 2);
+  {
+    // locpriv-lint: allow(raw-write) torn ledger tail planted on purpose.
+    std::ofstream out(ledger, std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+
+  LocprivService resumed(options, analyzer, run_dir, true);
+  full_watermark = resumed.restored_seq(0);
+  EXPECT_GT(full_watermark, 0u)
+      << "previous snapshot was not restored after the torn tail";
+  const TrafficOutcome replay = drive_traffic(resumed, analyzer, traffic);
+  EXPECT_GT(replay.accepted, 0u);  // The torn-off suffix is re-applied.
+  expect_parity(analyzer, options, traffic, resumed.collect_reports());
+  resumed.drain();
+}
+
+TEST(ServiceFailover, MismatchedShardTopologyResumeIsRefused) {
+  const auto& analyzer = test_analyzer();
+  const auto traffic = quick_traffic();
+  const fs::path run_dir = fresh_dir("topology");
+  {
+    LocprivService daemon(quick_options(2), analyzer, run_dir, false);
+    std::uint64_t sent = 0;
+    drive_traffic(daemon, analyzer, traffic, [&] { return ++sent > 10; });
+    daemon.drain();
+  }
+  try {
+    LocprivService resumed(quick_options(3), analyzer, run_dir, true);
+    FAIL() << "resume under a different shard count was accepted";
+  } catch (const Error& error) {
+    // The user->shard mapping scatters under a different modulus; exit 6.
+    EXPECT_EQ(error.code(), ErrorCode::kResume);
+    EXPECT_EQ(error.exit_code(), 6);
+  }
+}
+
+TEST(ServiceFailover, FreshRunRefusesADirectoryWithALedger) {
+  const auto& analyzer = test_analyzer();
+  const fs::path run_dir = fresh_dir("refuse");
+  {
+    LocprivService daemon(quick_options(2), analyzer, run_dir, false);
+    daemon.drain();
+  }
+  try {
+    LocprivService again(quick_options(2), analyzer, run_dir, false);
+    FAIL() << "fresh run silently reused an existing ledger";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kResume);
+  }
+}
+
+}  // namespace
+}  // namespace locpriv::service

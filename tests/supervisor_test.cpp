@@ -5,6 +5,7 @@
 // contained per cell; those suites also run under the `chaos` ctest label
 // with AddressSanitizer in CI.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -15,11 +16,17 @@
 #include <thread>
 #include <vector>
 
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
 #include "core/harness/error.hpp"
 #include "core/harness/run_ledger.hpp"
 #include "core/harness/supervisor.hpp"
 #include "core/harness/watchdog.hpp"
+#include "mobility/synthesis.hpp"
+#include "service/driver.hpp"
+#include "service/locprivd.hpp"
 #include "sim/faults/process_plan.hpp"
+#include "util/logging.hpp"
 #include "util/parallel.hpp"
 
 // RLIMIT_AS assertions are meaningless under AddressSanitizer: its shadow
@@ -44,8 +51,11 @@ using sim::ProcessFaultKind;
 using sim::ProcessFaultPlan;
 
 fs::path fresh_dir(const std::string& name) {
+  // Per-pid: the chaos_supervisor aggregate runs these tests in a second
+  // process concurrently with the ctest-discovered ones under `ctest -j`.
   const fs::path dir =
-      fs::temp_directory_path() / ("locpriv_supervisor_" + name);
+      fs::temp_directory_path() /
+      ("locpriv_supervisor_" + name + "_" + std::to_string(::getpid()));
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;
@@ -584,6 +594,75 @@ TEST(SupervisorIsolate, ShutdownRequestTerminatesChildrenAndStaysResumable) {
     ASSERT_NE(resumed.fields(cells[i]), nullptr) << cells[i];
     EXPECT_EQ(*resumed.fields(cells[i]), expected_fields(i, cells[i]));
   }
+}
+
+// Fork-safety regression for the locprivd respawn path. Every shard spawn —
+// including a *respawn* after a crash, which races against whatever the
+// service process is logging at that moment — must hold the logging sink
+// mutex across fork(2) (LogForkGuard): a child forked while another thread
+// was mid-emission would inherit the mutex locked and deadlock. The test
+// hammers the logger from a background thread while a crash-fault plan
+// forces repeated respawns; if any fork ever caught the sink locked, the
+// shard would hang instead of recovering and the run would blow its
+// ctest-level timeout.
+TEST(SupervisorIsolate, ShardRespawnUnderLoggingHammerDoesNotDeadlock) {
+  mobility::DatasetConfig dataset;
+  dataset.user_count = 2;
+  dataset.synthesis.days = 1;
+  const core::PrivacyAnalyzer analyzer = core::PrivacyAnalyzer::from_synthetic(
+      core::experiment_analyzer_config(), dataset);
+
+  // Hammer the sink from another thread, but into /dev/null: the point is
+  // mutex contention at fork time, not log spam in the test output.
+  // locpriv-lint: allow(raw-write) /dev/null sink, not an artifact.
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  ASSERT_NE(devnull, nullptr);
+  std::FILE* previous_sink = util::set_log_sink_for_testing(devnull);
+  const util::LogLevel previous_level = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+  std::atomic<bool> stop{false};
+  std::thread hammer([&stop] {
+    while (!stop.load(std::memory_order_relaxed))
+      LOCPRIV_LOG(kInfo, "hammer") << "logging across the fork window";
+  });
+
+  {
+    service::ServiceOptions options;
+    options.shards = 2;
+    options.interval_s = 60;
+    options.seed = 11;
+    options.scale = "2u_t60";
+    options.heartbeat = std::chrono::milliseconds(50);
+    options.snapshot_interval = std::chrono::milliseconds(100);
+    options.backoff_base = std::chrono::milliseconds(5);
+    // Three sabotaged incarnations of each shard: six respawn forks, all
+    // taken while the hammer thread is pounding the sink mutex.
+    options.max_respawns = 5;
+    options.fault_plan = ProcessFaultPlan::parse("crash:3@shard0,crash:3@shard1");
+    options.fault_after_batches = 2;
+
+    service::LocprivService daemon(
+        options, analyzer, fresh_dir("respawn_logging"), false);
+    service::TrafficOptions traffic;
+    traffic.batch_size = 16;
+    traffic.pace = std::chrono::milliseconds(1);
+    service::drive_traffic(daemon, analyzer, traffic);
+    const auto rows = daemon.collect_reports();
+    daemon.drain();
+
+    EXPECT_GE(daemon.stats().respawns, 6);
+    EXPECT_TRUE(daemon.quarantined_shards().empty());
+    EXPECT_EQ(rows.size(), analyzer.user_count());
+    EXPECT_TRUE(service::parity_mismatches(analyzer, options.interval_s,
+                                           traffic, rows)
+                    .empty());
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  hammer.join();
+  util::set_log_level(previous_level);
+  util::set_log_sink_for_testing(previous_sink);
+  std::fclose(devnull);
 }
 
 }  // namespace

@@ -220,6 +220,15 @@ bool is_harness_path(std::string_view path) {
   return std::string(path).find("src/core/harness/") != std::string::npos;
 }
 
+// The raw-process rule alone is also waived under src/service/: locprivd IS
+// a process supervisor (fork/kill/waitpid are its job, with the same
+// reap-and-escalate discipline as the harness). Everything else — atomic
+// writes, deterministic RNG, ordered serialization — still applies there.
+bool may_own_processes(std::string_view path) {
+  return is_harness_path(path) ||
+         std::string(path).find("src/service/") != std::string::npos;
+}
+
 std::string trim(const std::string& text) {
   const auto begin = text.find_first_not_of(" \t");
   if (begin == std::string::npos) return "";
@@ -306,9 +315,9 @@ const std::vector<RuleInfo>& rules() {
        "std::rand/srand/random_device/time(nullptr): nondeterministic source "
        "breaks resume byte-identity; derive randomness from a seeded stats::Rng"},
       {kRawProcess,
-       "direct fork/exec/waitpid/kill outside src/core/harness/; process "
-       "lifecycle belongs to harness::Supervisor (rlimits, reaping, graceful "
-       "shutdown)"},
+       "direct fork/exec/waitpid/kill outside src/core/harness/ or "
+       "src/service/; process lifecycle belongs to harness::Supervisor or "
+       "service::LocprivService (rlimits, reaping, graceful shutdown)"},
       {kRawWrite,
        "raw std::ofstream/fopen/rename artifact write outside src/core/harness/; "
        "route artifacts through AtomicFileWriter (torn-write invariant)"},
@@ -338,6 +347,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
   std::vector<Finding> findings = std::move(suppressions.errors);
 
   const bool harness_file = is_harness_path(path);
+  const bool process_owner_file = may_own_processes(path);
   const bool main_file = std::regex_search(views.code, main_definition_re());
   const bool serializes = std::regex_search(views.code, serialize_sink_re());
 
@@ -367,7 +377,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
       add(line, kExitCall,
           "exit() outside a main() file skips destructors and the "
           "locpriv::Error exit-code taxonomy; throw instead");
-    if (!harness_file) {
+    if (!process_owner_file) {
       for (auto match = std::sregex_iterator(code.begin(), code.end(),
                                              raw_process_re());
            match != std::sregex_iterator(); ++match) {
@@ -376,9 +386,9 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
           continue;
         add(line, kRawProcess,
             "raw " + (*match)[1].str() +
-                "() outside src/core/harness/; run children through "
-                "harness::Supervisor so rlimits, reaping, and graceful "
-                "shutdown stay centralized");
+                "() outside src/core/harness/ or src/service/; run children "
+                "through harness::Supervisor or service::LocprivService so "
+                "rlimits, reaping, and graceful shutdown stay centralized");
         break;  // One finding per line, matching the other rules.
       }
     }

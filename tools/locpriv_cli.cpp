@@ -10,8 +10,10 @@
 //
 // Dataset-consuming commands read a Geolife-layout directory (as produced
 // by gen-dataset or a real Geolife download).
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/harness/atomic_file.hpp"
 #include "core/harness/error.hpp"
@@ -20,6 +22,8 @@
 
 #include "core/analyzer.hpp"
 #include "core/experiment.hpp"
+#include "service/driver.hpp"
+#include "service/locprivd.hpp"
 #include "market/catalog.hpp"
 #include "market/report_io.hpp"
 #include "market/study.hpp"
@@ -56,6 +60,21 @@ int usage() {
       "  identify      --root DIR --user INDEX [--interval S] [--pattern 1|2] [--lenient]\n"
       "  export-geojson --root DIR --user INDEX --out FILE [--interval S]\n"
       "  report        [--out FILE] [--users N] [--days D]\n"
+      "  serve         (--run-dir DIR | --resume DIR) [--root DIR | --users N --days D]\n"
+      "                [--seed S] [--shards K] [--interval S] [--rounds N] [--batch N]\n"
+      "                [--pace-ms MS] [--csv FILE] [--heartbeat-ms MS]\n"
+      "                [--ping-timeout-ms MS] [--op-timeout-ms MS] [--grace-ms MS]\n"
+      "                [--snapshot-every-ms MS] [--max-respawns N] [--backoff-ms MS]\n"
+      "                [--shard-rlimit-mb N] [--shard-cpu-s N]\n"
+      "                [--fault-shards SPEC] [--fault-after N]\n"
+      "\n"
+      "serve runs the locprivd audit service: users are sharded across forked\n"
+      "worker processes fed over pipes, supervised by heartbeat, snapshotted\n"
+      "periodically, and respawned from their last snapshot on a crash or hang.\n"
+      "SIGINT/SIGTERM drain every shard and exit 7; re-running with --resume\n"
+      "continues from the journaled snapshots (a different --shards count is\n"
+      "refused with exit 6). --fault-shards injects crash|hang|alloc faults,\n"
+      "e.g. \"crash@shard0,hang:2@shard1\".\n"
       "\n"
       "--lenient quarantines corrupt .plt files instead of aborting, prints the\n"
       "ingest report, and exits with code 3 when anything was quarantined.\n"
@@ -463,6 +482,138 @@ int cmd_export_geojson(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  util::Args args;
+  args.declare("--root", "");
+  args.declare("--users", "6");
+  args.declare("--days", "3");
+  args.declare("--seed", std::to_string(core::kDatasetSeed));
+  args.declare("--run-dir", "");
+  args.declare("--resume", "");
+  args.declare("--shards", "2");
+  args.declare("--interval", "60");
+  args.declare("--rounds", "1");
+  args.declare("--batch", "64");
+  args.declare("--pace-ms", "0");
+  args.declare("--csv", "");
+  args.declare("--heartbeat-ms", "200");
+  args.declare("--ping-timeout-ms", "5000");
+  args.declare("--op-timeout-ms", "120000");
+  args.declare("--grace-ms", "2000");
+  args.declare("--snapshot-every-ms", "2000");
+  args.declare("--max-respawns", "5");
+  args.declare("--backoff-ms", "100");
+  args.declare("--shard-rlimit-mb", "0");
+  args.declare("--shard-cpu-s", "0");
+  args.declare("--fault-shards", "");
+  args.declare("--fault-after", "3");
+  args.declare_bool("--lenient");
+  args.parse(argc, argv, 2);
+
+  const bool resume = !args.get("--resume").empty();
+  if (resume == !args.get("--run-dir").empty())
+    throw Error(ErrorCode::kUsage,
+                "serve needs exactly one of --run-dir (fresh) or --resume");
+  const std::string run_dir =
+      resume ? args.get("--resume") : args.get("--run-dir");
+
+  // The corpus: a Geolife-layout directory, or the synthetic dataset (the
+  // soak default — deterministic, so a resumed serve replays identically).
+  std::unique_ptr<core::PrivacyAnalyzer> analyzer;
+  if (!args.get("--root").empty()) {
+    auto loaded = load_dataset(args.get("--root"), args.get_bool("--lenient"));
+    analyzer = std::make_unique<core::PrivacyAnalyzer>(
+        core::experiment_analyzer_config(), std::move(loaded.users));
+  } else {
+    mobility::DatasetConfig dataset;
+    dataset.user_count = static_cast<int>(args.get_int("--users"));
+    dataset.synthesis.days = static_cast<int>(args.get_int("--days"));
+    dataset.seed = static_cast<std::uint64_t>(args.get_int("--seed"));
+    analyzer = std::make_unique<core::PrivacyAnalyzer>(
+        core::PrivacyAnalyzer::from_synthetic(core::experiment_analyzer_config(),
+                                              dataset));
+  }
+
+  service::ServiceOptions options;
+  options.shards = static_cast<unsigned>(args.get_int("--shards"));
+  options.interval_s = args.get_int("--interval");
+  options.seed = static_cast<std::uint64_t>(args.get_int("--seed"));
+  options.scale = std::to_string(analyzer->user_count()) + "u_t" +
+                  std::to_string(options.interval_s);
+  options.heartbeat = std::chrono::milliseconds(args.get_int("--heartbeat-ms"));
+  options.ping_timeout =
+      std::chrono::milliseconds(args.get_int("--ping-timeout-ms"));
+  options.op_timeout =
+      std::chrono::milliseconds(args.get_int("--op-timeout-ms"));
+  options.term_grace = std::chrono::milliseconds(args.get_int("--grace-ms"));
+  options.snapshot_interval =
+      std::chrono::milliseconds(args.get_int("--snapshot-every-ms"));
+  options.max_respawns = static_cast<int>(args.get_int("--max-respawns"));
+  options.backoff_base = std::chrono::milliseconds(args.get_int("--backoff-ms"));
+  options.backoff_seed = options.seed;
+  options.shard_rlimit_mb =
+      static_cast<std::size_t>(args.get_int("--shard-rlimit-mb"));
+  options.shard_cpu_s = static_cast<unsigned>(args.get_int("--shard-cpu-s"));
+  if (!args.get("--fault-shards").empty())
+    options.fault_plan = sim::ProcessFaultPlan::parse(args.get("--fault-shards"));
+  options.fault_after_batches = static_cast<int>(args.get_int("--fault-after"));
+
+  service::TrafficOptions traffic;
+  traffic.batch_size = static_cast<std::size_t>(args.get_int("--batch"));
+  traffic.rounds = static_cast<int>(args.get_int("--rounds"));
+  traffic.pace = std::chrono::milliseconds(args.get_int("--pace-ms"));
+
+  service::LocprivService::clear_shutdown();
+  std::signal(SIGINT, service::LocprivService::request_shutdown);
+  std::signal(SIGTERM, service::LocprivService::request_shutdown);
+
+  service::LocprivService daemon(options, *analyzer, run_dir, resume);
+  const service::TrafficOutcome outcome = service::drive_traffic(
+      daemon, *analyzer, traffic,
+      [] { return service::LocprivService::shutdown_requested(); });
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (outcome.interrupted) {
+    daemon.drain();
+    throw Error(ErrorCode::kInterrupted,
+                "serve interrupted after " +
+                    std::to_string(outcome.accepted) +
+                    " accepted batches; drained, resume with --resume " +
+                    run_dir);
+  }
+
+  const auto rows = daemon.collect_reports();
+  const std::vector<std::string> header = {
+      "user", "interval_s", "collected_fixes", "extracted_pois", "poi_total",
+      "poi_sensitive", "hisbin_visits", "hisbin_movements", "breach",
+      "deg_anonymity_p2"};
+  if (!args.get("--csv").empty()) {
+    harness::AtomicFileWriter out(args.get("--csv"));
+    util::CsvWriter csv(out.stream());
+    csv.write_row(header);
+    for (const auto& row : rows) csv.write_row(row);
+    out.commit();
+    std::cerr << "audit rows -> " << args.get("--csv") << '\n';
+  } else {
+    util::CsvWriter csv(std::cout);
+    csv.write_row(header);
+    for (const auto& row : rows) csv.write_row(row);
+  }
+  daemon.drain();
+
+  const service::ServiceStats& stats = daemon.stats();
+  std::cerr << "serve: " << stats.batches_submitted << " batches ("
+            << stats.fixes_submitted << " fixes) across "
+            << daemon.options().shards << " shards, " << stats.snapshots
+            << " snapshots, " << stats.shard_deaths << " deaths, "
+            << stats.respawns << " respawns\n";
+  const auto quarantined = daemon.quarantined_shards();
+  for (const auto& name : quarantined)
+    std::cerr << "  quarantined: " << name << '\n';
+  return quarantined.empty() ? 0 : kExitQuarantined;
+}
+
 int cmd_report(int argc, const char* const* argv) {
   util::Args args;
   args.declare("--out", "");
@@ -499,6 +650,7 @@ int main(int argc, char** argv) {
     if (command == "identify") return cmd_identify(argc, argv);
     if (command == "export-geojson") return cmd_export_geojson(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
   } catch (const Error& error) {
     // Harness failures carry their own exit code (4 I/O, 5 deadline, ...),
     // so scripts can distinguish a full disk from a bad user index.
