@@ -1,0 +1,56 @@
+// Standardized header for every BENCH_*.json artifact. Benches across PRs
+// are only comparable when each result records what produced it, so every
+// bench opens its JSON object with write_bench_header(): schema version,
+// bench name, git SHA and build type (baked in by bench/CMakeLists.txt),
+// sanitizer config, reduced-scale flag, and a UTC timestamp. Perf-tracking
+// tooling keys on these fields; bench-specific members follow after.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+#include "util/json.hpp"
+
+// Baked in by the build (see bench/CMakeLists.txt); the fallbacks keep
+// non-CMake builds (clangd, fuzz drivers) compiling.
+#ifndef LOCPRIV_GIT_SHA
+#define LOCPRIV_GIT_SHA "unknown"
+#endif
+#ifndef LOCPRIV_BUILD_TYPE
+#define LOCPRIV_BUILD_TYPE "unknown"
+#endif
+#ifndef LOCPRIV_SANITIZE_FLAGS
+#define LOCPRIV_SANITIZE_FLAGS "none"
+#endif
+
+namespace locpriv::bench {
+
+/// Wall-clock timestamp (UTC, ISO-8601). Only stamped into artifacts for
+/// humans reading them later; nothing in a bench derives behaviour from it.
+inline std::string utc_timestamp() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm parts{};
+  ::gmtime_r(&now, &parts);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &parts);
+  return buffer;
+}
+
+/// Emits the shared header members into an already-open JSON object. Call
+/// immediately after json.begin_object(), before any bench-specific fields.
+inline void write_bench_header(util::JsonWriter& json,
+                               const std::string& bench_name) {
+  json.member("schema_version", 1);
+  json.member("bench", bench_name);
+  json.member("git_sha", LOCPRIV_GIT_SHA);
+  json.member("build_type", LOCPRIV_BUILD_TYPE);
+  json.member("sanitize", LOCPRIV_SANITIZE_FLAGS);
+  json.member("reduced_scale",
+              std::getenv("LOCPRIV_REDUCED_SCALE") != nullptr);
+  json.member("timestamp_utc", utc_timestamp());
+}
+
+}  // namespace locpriv::bench

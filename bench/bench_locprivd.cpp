@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/analyzer.hpp"
 #include "core/experiment.hpp"
 #include "core/harness/atomic_file.hpp"
@@ -166,13 +167,16 @@ int run(int argc, const char* const* argv) {
   {
     util::JsonWriter json;
     json.begin_object();
-    json.member("bench", "locprivd");
+    bench::write_bench_header(json, "locprivd");
     json.member("users", static_cast<std::int64_t>(analyzer.user_count()));
     json.member("days", static_cast<std::int64_t>(dataset.synthesis.days));
     json.member("shards", static_cast<std::int64_t>(options.shards));
     json.member("interval_s", options.interval_s);
+    json.member("batches_offered",
+                static_cast<std::int64_t>(stats.batches_offered));
     json.member("batches_submitted",
                 static_cast<std::int64_t>(stats.batches_submitted));
+    json.member("batches_shed", static_cast<std::int64_t>(stats.batches_shed));
     json.member("fixes_submitted",
                 static_cast<std::int64_t>(stats.fixes_submitted));
     json.member("duration_s", duration_s);

@@ -24,6 +24,8 @@ Error::Error(ErrorCode code, std::string message)
 }
 
 Error& Error::add_context(std::string frame) {
+  // One frame per enclosing catch site — bounded by unwind depth.
+  // locpriv-lint: allow(unbounded-growth)
   context_.push_back(std::move(frame));
   rebuild_what();
   return *this;

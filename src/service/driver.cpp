@@ -66,9 +66,29 @@ TrafficOutcome drive_traffic(LocprivService& service,
         for (trace::TracePoint& fix : fixes) fix.timestamp_s += offset;
         cursor[i] += take;
         ++outcome.batches;
-        if (service.submit(reference.user_id, fixes)) {
-          ++outcome.accepted;
-          outcome.fixes += take;
+        const bool lossless =
+            !options.may_shed ||
+            (options.lossless_every > 0 && i % options.lossless_every == 0);
+        const Admission admission =
+            service.submit(reference.user_id, fixes, !lossless, should_stop);
+        switch (admission) {
+          case Admission::kAccepted:
+            ++outcome.accepted;
+            outcome.fixes += take;
+            break;
+          case Admission::kDeduped:
+            ++outcome.deduped;
+            break;
+          case Admission::kShed:
+            ++outcome.shed;
+            break;
+          case Admission::kBlocked:
+            // The abort predicate fired while waiting for window credit;
+            // the batch never entered the system and a resumed run
+            // re-offers it. Uncount the offer to keep the tallies honest.
+            --outcome.batches;
+            outcome.interrupted = true;
+            return outcome;
         }
         service.tick(std::chrono::milliseconds(0));
         if (options.pace.count() > 0)

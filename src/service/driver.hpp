@@ -29,11 +29,23 @@ struct TrafficOptions {
   std::int64_t round_gap_s = 86400;
   /// Sleep between submitted batches (paces a soak over wall-clock time).
   std::chrono::milliseconds pace{0};
+  /// Admission mode. false = lossless corpus semantics: submits block for
+  /// window credit, and nothing is shed. true = synthetic/soak semantics:
+  /// submits never block; the service sheds by its ShedPolicy at the window
+  /// edge.
+  bool may_shed = false;
+  /// With may_shed, drive every Nth user (0-based analyzer index % N == 0)
+  /// losslessly anyway. An overload soak uses this to guarantee a non-empty
+  /// set of users whose metrics must stay byte-identical to the batch
+  /// pipeline while the rest of the population sheds. 0 = nobody.
+  std::size_t lossless_every = 0;
 };
 
 struct TrafficOutcome {
   std::uint64_t batches = 0;   ///< Batches offered to the service.
-  std::uint64_t accepted = 0;  ///< Batches the service accepted (not deduped).
+  std::uint64_t accepted = 0;  ///< Batches the service accepted.
+  std::uint64_t deduped = 0;   ///< Batches dropped by resume dedupe.
+  std::uint64_t shed = 0;      ///< Batches the service shed at the window edge.
   std::uint64_t fixes = 0;     ///< Fixes inside accepted batches.
   bool interrupted = false;    ///< should_stop fired before the schedule ended.
 };

@@ -26,6 +26,7 @@ using Clock = std::chrono::steady_clock;
 volatile std::sig_atomic_t g_shutdown = 0;
 
 constexpr std::size_t kOutbufCompactBytes = 1 << 20;
+constexpr std::size_t kMaxRecoveryRecords = 4096;
 
 std::uint64_t fnv1a(const std::string& text) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -114,6 +115,20 @@ struct LocprivService::Shard {
   std::deque<RetainedBatch> retained;  ///< Accepted but not yet snapshotted.
 
   std::uint64_t submit_seq = 0;       ///< Last assigned submit sequence.
+  std::uint64_t acked_seq = 0;        ///< Highest submit seq the child acked.
+  std::uint64_t sent_seq = 0;         ///< Highest submit seq encoded for the
+                                      ///< current incarnation (credit cursor).
+  std::size_t retained_bytes = 0;     ///< Frame bytes held in `retained`.
+  /// (seq, encode time) per in-flight batch, for the turnaround EWMA.
+  /// Bounded by the credit window: pushed on encode, popped on ack, cleared
+  /// on death.
+  std::deque<std::pair<std::uint64_t, Clock::time_point>> sent_times;
+  double ewma_ms = 0.0;               ///< Batch-turnaround EWMA.
+  bool ewma_init = false;
+  bool degraded = false;              ///< Inside a degraded-EWMA episode.
+  std::uint64_t offered = 0;          ///< Batches offered to this shard.
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
   std::uint64_t restored_seq = 0;     ///< Watermark restored at startup.
   std::uint64_t snap_seq = 0;         ///< Last *journaled* snapshot seq.
   std::uint64_t snap_last_seq = 0;    ///< Watermark of that snapshot.
@@ -192,6 +207,8 @@ LocprivService::LocprivService(ServiceOptions options,
   ledger_ = std::make_unique<harness::RunLedger>(run_dir_, info);
 
   for (unsigned k = 0; k < options_.shards; ++k)
+    // One Shard per configured shard, fixed for the service lifetime.
+    // locpriv-lint: allow(unbounded-growth)
     shards_.push_back(
         std::make_unique<Shard>(k, options_.stderr_tail_cap));
   if (resume)
@@ -332,21 +349,28 @@ void LocprivService::spawn(Shard& shard) {
   shard.report_ready = false;
   shard.report_rows.clear();
   shard.queued_snap_seq = shard.snap_seq;
+  // The new incarnation's memory is exactly the snapshot it restores: the
+  // credit cursors rewind to the snapshot watermark so the retained suffix
+  // is replayed through the same windowed path as live traffic.
+  shard.sent_seq = shard.snap_last_seq;
+  shard.acked_seq = shard.snap_last_seq;
+  shard.sent_times.clear();
+  shard.ewma_ms = 0.0;
+  shard.ewma_init = false;
+  shard.degraded = false;
   const auto now = Clock::now();
   shard.last_ping_sent = now;
   shard.next_snapshot_at = now + options_.snapshot_interval;
 
   // Recovery protocol: restore the latest journaled snapshot, replay the
-  // retained suffix (everything accepted past the snapshot watermark), then
-  // ping — the pong marks the shard recovered.
+  // retained suffix (everything accepted past the snapshot watermark) under
+  // the credit window, then ping — the pong marks the shard recovered.
   if (shard.restore_expect_seq > 0) {
     send(shard, {wire::kCmdRestore, shard.restore_file,
                  std::to_string(shard.restore_expect_seq)});
     shard.push_op(wire::kRspRestored, 0, options_.op_timeout);
   }
-  for (const RetainedBatch& batch : shard.retained) {
-    shard.outbuf += batch.frame;
-  }
+  pump_submits(shard);
   queue_ping(shard);
   LOCPRIV_LOG(kInfo, "locprivd")
       << shard.name << " incarnation " << shard.incarnation << " pid " << pid
@@ -361,20 +385,122 @@ void LocprivService::send(Shard& shard, const std::vector<std::string>& fields) 
   shard.outbuf += wire::encode_message(fields);
 }
 
-bool LocprivService::submit(const std::string& user_id,
-                            const std::vector<trace::TracePoint>& fixes) {
+bool LocprivService::window_full(const Shard& shard) const {
+  if (options_.max_retained_bytes > 0 &&
+      shard.retained_bytes >= options_.max_retained_bytes)
+    return true;
+  if (options_.max_inflight_batches == 0) return false;
+  // Unacked window: retained batches past the child's ack watermark. The
+  // deque is seq-sorted, so the boundary is a binary search.
+  const auto first_unacked = std::lower_bound(
+      shard.retained.begin(), shard.retained.end(), shard.acked_seq,
+      [](const RetainedBatch& batch, std::uint64_t acked) {
+        return batch.seq <= acked;
+      });
+  const auto unacked =
+      static_cast<std::size_t>(shard.retained.end() - first_unacked);
+  return unacked >= options_.max_inflight_batches;
+}
+
+void LocprivService::account_shed(Shard& shard, const std::string& user,
+                                  std::size_t fixes, ShedCause cause) {
+  ++stats_.batches_shed;
+  stats_.fixes_shed += fixes;
+  switch (cause) {
+    case ShedCause::kRejectNew: ++stats_.shed_reject_new; break;
+    case ShedCause::kDropOldest: ++stats_.shed_drop_oldest; break;
+    case ShedCause::kQuarantined: ++stats_.shed_quarantined; break;
+  }
+  ++shard.shed;
+  UserLoad& load = user_loads_[user];
+  ++load.batches_shed;
+  load.fixes_shed += fixes;
+}
+
+Admission LocprivService::submit(const std::string& user_id,
+                                 const std::vector<trace::TracePoint>& fixes,
+                                 bool may_shed,
+                                 const std::function<bool()>& abort) {
   Shard& shard = *shards_[shard_of(user_id)];
-  if (shard.state == Shard::State::kQuarantined) {
-    ++stats_.batches_dropped;
-    return false;
-  }
-  const std::uint64_t seq = ++shard.submit_seq;
-  if (seq <= shard.restored_seq) {
+  if (shard.state != Shard::State::kQuarantined &&
+      shard.submit_seq + 1 <= shard.restored_seq) {
     // Resume dedupe: the deterministic schedule re-offers batches a restored
-    // snapshot already covers; they are dropped without touching the shard.
+    // snapshot already covers; they are dropped without touching the shard
+    // (and without consuming window credit).
+    ++shard.submit_seq;
+    ++stats_.batches_offered;
+    ++shard.offered;
+    ++user_loads_[user_id].batches_offered;
     ++stats_.batches_dropped;
-    return false;
+    return Admission::kDeduped;
   }
+
+  if (shard.state != Shard::State::kQuarantined && window_full(shard)) {
+    if (!may_shed) {
+      // Lossless backpressure: the corpus path waits for window credit,
+      // pumping the event loop so acks, snapshots, and respawns progress.
+      // Aborting here leaves the batch unaccounted — it never entered the
+      // system, so a resumed run re-offers it.
+      ++stats_.blocked_waits;
+      while (window_full(shard) &&
+             shard.state != Shard::State::kQuarantined) {
+        if (shutdown_requested() || (abort && abort()))
+          return Admission::kBlocked;
+        tick(std::chrono::milliseconds(5));
+      }
+      if (shard.state != Shard::State::kQuarantined) {
+        ++stats_.batches_offered;
+        ++shard.offered;
+        ++user_loads_[user_id].batches_offered;
+      }
+    } else {
+      ++stats_.batches_offered;
+      ++shard.offered;
+      ++user_loads_[user_id].batches_offered;
+      // Drop-oldest can only evict a batch that is not yet on the wire (a
+      // consumed frame cannot be unsent); with everything retained already
+      // in flight it falls back to rejecting the incoming batch.
+      const auto oldest_unsent = std::lower_bound(
+          shard.retained.begin(), shard.retained.end(), shard.sent_seq,
+          [](const RetainedBatch& batch, std::uint64_t sent) {
+            return batch.seq <= sent;
+          });
+      if (options_.shed_policy == ShedPolicy::kDropOldest &&
+          oldest_unsent != shard.retained.end()) {
+        // Reclassify the evicted batch from submitted to shed so
+        // `offered == submitted + dropped + shed` keeps reconciling.
+        --stats_.batches_submitted;
+        stats_.fixes_submitted -= oldest_unsent->fixes;
+        --shard.accepted;
+        UserLoad& evicted = user_loads_[oldest_unsent->user];
+        --evicted.batches_accepted;
+        account_shed(shard, oldest_unsent->user, oldest_unsent->fixes,
+                     ShedCause::kDropOldest);
+        shard.retained_bytes -= oldest_unsent->frame.size();
+        shard.retained.erase(oldest_unsent);
+        // Fall through: the freed slot admits the incoming batch.
+      } else {
+        account_shed(shard, user_id, fixes.size(), ShedCause::kRejectNew);
+        return Admission::kShed;
+      }
+    }
+  } else if (may_shed || shard.state != Shard::State::kQuarantined) {
+    ++stats_.batches_offered;
+    ++shard.offered;
+    ++user_loads_[user_id].batches_offered;
+  }
+
+  if (shard.state == Shard::State::kQuarantined) {
+    if (!may_shed) {
+      ++stats_.batches_offered;
+      ++shard.offered;
+      ++user_loads_[user_id].batches_offered;
+    }
+    account_shed(shard, user_id, fixes.size(), ShedCause::kQuarantined);
+    return Admission::kShed;
+  }
+
+  const std::uint64_t seq = ++shard.submit_seq;
   std::vector<std::string> fields;
   fields.reserve(4 + fixes.size() * 3);
   fields.push_back(wire::kCmdSubmit);
@@ -390,12 +516,48 @@ bool LocprivService::submit(const std::string& user_id,
   batch.seq = seq;
   batch.frame = wire::encode_message(fields);
   batch.fixes = fixes.size();
-  if (shard.alive()) shard.outbuf += batch.frame;
-  // Dead shards get the batch at respawn via the retained replay.
+  batch.user = user_id;
+  shard.retained_bytes += batch.frame.size();
+  stats_.retained_bytes_peak =
+      std::max(stats_.retained_bytes_peak, shard.retained_bytes);
+  // Admission closed above at the window edge, so this append is bounded by
+  // max_inflight_batches + max_retained_bytes. locpriv-lint: allow(unbounded-growth)
   shard.retained.push_back(std::move(batch));
   ++stats_.batches_submitted;
   stats_.fixes_submitted += fixes.size();
-  return true;
+  ++shard.accepted;
+  ++user_loads_[user_id].batches_accepted;
+  // Encode immediately if the shard is running and credit allows; a dead
+  // shard's batch waits in `retained` for the respawn replay.
+  pump_submits(shard);
+  return Admission::kAccepted;
+}
+
+void LocprivService::pump_submits(Shard& shard) {
+  if (shard.state != Shard::State::kRunning) return;
+  const auto first_unsent = std::lower_bound(
+      shard.retained.begin(), shard.retained.end(), shard.sent_seq,
+      [](const RetainedBatch& batch, std::uint64_t sent) {
+        return batch.seq <= sent;
+      });
+  for (auto it = first_unsent; it != shard.retained.end(); ++it) {
+    if (options_.max_inflight_batches > 0 &&
+        shard.sent_seq - shard.acked_seq >= options_.max_inflight_batches)
+      break;  // Window edge: encoding resumes as acks arrive.
+    shard.outbuf += it->frame;
+    shard.sent_seq = it->seq;
+    // Every encoded submit carries an in-order ack obligation with the
+    // heartbeat budget: a wedged shard is detected by its oldest unacked
+    // batch exactly like a missed ping, so a full pipe cannot stall
+    // drain/shutdown. Bounded by the credit window.
+    // locpriv-lint: allow(unbounded-growth)
+    shard.sent_times.emplace_back(it->seq, Clock::now());
+    shard.push_op(wire::kRspAck, it->seq, options_.ping_timeout);
+  }
+  stats_.pending_ops_peak =
+      std::max(stats_.pending_ops_peak, shard.pending.size());
+  stats_.outbuf_bytes_peak =
+      std::max(stats_.outbuf_bytes_peak, shard.outbuf.size() - shard.out_off);
 }
 
 void LocprivService::tick(std::chrono::milliseconds budget) {
@@ -413,9 +575,12 @@ void LocprivService::tick(std::chrono::milliseconds budget) {
 void LocprivService::pump(std::chrono::milliseconds timeout) {
   const auto now = Clock::now();
 
-  // 1. Push queued commands down the (nonblocking) pipes.
-  for (auto& owned : shards_)
+  // 1. Encode window-credited submits, then push queued commands down the
+  // (nonblocking) pipes.
+  for (auto& owned : shards_) {
+    pump_submits(*owned);
     if (owned->alive()) flush_out(*owned);
+  }
 
   // 2. Wait for responses / stderr, bounded by the caller's budget.
   std::vector<pollfd> fds;
@@ -486,18 +651,29 @@ void LocprivService::pump(std::chrono::milliseconds timeout) {
       spawn(shard);
   }
 
-  // 6. Cadences: heartbeat pings and periodic snapshots.
+  // 6. Cadences: heartbeat pings, periodic snapshots, and forced early
+  // snapshots when retained replay bytes cross the cap (the snapshot's
+  // journaled watermark truncates `retained`, reopening admission).
   for (auto& owned : shards_) {
     Shard& shard = *owned;
     if (shard.state != Shard::State::kRunning) continue;
     if (now - shard.last_ping_sent >= options_.heartbeat &&
         !shard.has_pending(wire::kRspPong))
       queue_ping(shard);
+    const bool snapshot_in_flight = shard.has_pending(wire::kRspSnapped) ||
+                                    shard.has_pending(wire::kRspDrained);
     if (options_.snapshot_interval.count() > 0 &&
-        now >= shard.next_snapshot_at &&
-        !shard.has_pending(wire::kRspSnapped) &&
-        !shard.has_pending(wire::kRspDrained))
+        now >= shard.next_snapshot_at && !snapshot_in_flight) {
       queue_snapshot(shard, wire::kCmdSnapshot);
+    } else if (options_.max_retained_bytes > 0 &&
+               shard.retained_bytes >= options_.max_retained_bytes &&
+               shard.acked_seq > shard.snap_last_seq && !snapshot_in_flight) {
+      // Only force when the snapshot can advance the watermark (the child
+      // acked past the last one), else the snapshot would truncate nothing
+      // and the cadence would spin.
+      ++stats_.forced_snapshots;
+      queue_snapshot(shard, wire::kCmdSnapshot);
+    }
   }
 }
 
@@ -582,6 +758,12 @@ void LocprivService::handle_death(Shard& shard, int status) {
   shard.last_failure =
       shard.last_failure.empty() ? cause : shard.last_failure + "; " + cause;
   shard.pending.clear();
+  // The dead child's unsnapshotted memory is gone: rewind the credit
+  // cursors to the snapshot watermark so window accounting reflects what
+  // the *next* incarnation still has to apply.
+  shard.acked_seq = shard.snap_last_seq;
+  shard.sent_seq = shard.snap_last_seq;
+  shard.sent_times.clear();
   shard.report_ready = false;
   shard.report_rows.clear();
   shard.recovering = true;
@@ -628,7 +810,19 @@ void LocprivService::quarantine(Shard& shard, std::string reason) {
   ledger_->record_quarantine(shard.name, details);
   shard.state = Shard::State::kQuarantined;
   shard.pending.clear();
+  // Unsnapshotted retained batches die with the quarantined shard: shed
+  // them deterministically (reclassified from submitted) instead of
+  // silently dropping, so the reconciliation identity survives quarantine.
+  for (const RetainedBatch& batch : shard.retained) {
+    --stats_.batches_submitted;
+    stats_.fixes_submitted -= batch.fixes;
+    --shard.accepted;
+    --user_loads_[batch.user].batches_accepted;
+    account_shed(shard, batch.user, batch.fixes, ShedCause::kQuarantined);
+  }
   shard.retained.clear();
+  shard.retained_bytes = 0;
+  shard.sent_times.clear();
   shard.report_ready = false;
   shard.report_rows.clear();
   shard.recovering = false;
@@ -642,6 +836,24 @@ void LocprivService::dispatch_response(Shard& shard,
   if (!shard.pending.empty() && shard.pending.front().verb == verb)
     shard.pop_op();
 
+  if (verb == wire::kRspAck && fields.size() >= 3) {
+    const std::uint64_t seq = parse_u64(fields[1]);
+    if (seq > shard.acked_seq) shard.acked_seq = seq;
+    // Turnaround sample: encode-to-ack latency of this batch. Acks arrive
+    // in order; anything older without a sample was reset by a respawn.
+    while (!shard.sent_times.empty() && shard.sent_times.front().first < seq)
+      shard.sent_times.pop_front();
+    if (!shard.sent_times.empty() && shard.sent_times.front().first == seq) {
+      const double sample =
+          ms_between(shard.sent_times.front().second, Clock::now());
+      shard.sent_times.pop_front();
+      note_turnaround(shard, sample);
+    }
+    // The freed credit encodes the next unsent retained batch immediately.
+    pump_submits(shard);
+    return;
+  }
+
   if (verb == wire::kRspPong && fields.size() >= 4) {
     shard.ingested = parse_u64(fields[2]);
     shard.state_bytes = static_cast<std::size_t>(parse_u64(fields[3]));
@@ -653,6 +865,10 @@ void LocprivService::dispatch_response(Shard& shard,
       record.shard = shard.index;
       record.incarnation = shard.incarnation;
       record.latency_ms = ms_between(shard.death_time, Clock::now());
+      // An always-on service accumulates recoveries forever; keep the
+      // newest window (benches read recent latency, not ancient history).
+      if (stats_.recoveries.size() >= kMaxRecoveryRecords)
+        stats_.recoveries.erase(stats_.recoveries.begin());
       stats_.recoveries.push_back(record);
       shard.recovering = false;
       shard.death_clock_running = false;
@@ -722,9 +938,15 @@ void LocprivService::record_snapshot(Shard& shard,
   shard.restore_expect_seq = snap_seq;
   shard.next_snapshot_at = Clock::now() + options_.snapshot_interval;
   // The journaled snapshot now covers every batch up to last_seq: the
-  // parent's retention obligation ends there.
-  while (!shard.retained.empty() && shard.retained.front().seq <= last_seq)
+  // parent's retention obligation ends there. The snapshot also proves the
+  // child applied through last_seq, so the credit cursors floor there even
+  // if individual acks were lost to a pipe race.
+  while (!shard.retained.empty() && shard.retained.front().seq <= last_seq) {
+    shard.retained_bytes -= shard.retained.front().frame.size();
     shard.retained.pop_front();
+  }
+  shard.acked_seq = std::max(shard.acked_seq, last_seq);
+  shard.sent_seq = std::max(shard.sent_seq, last_seq);
   // Keep the previous snapshot as the resume fallback; reclaim older ones.
   if (snap_seq >= 3) {
     std::error_code ec;
@@ -748,7 +970,12 @@ std::vector<std::vector<std::string>> LocprivService::collect_reports() {
       if (shard.state == Shard::State::kQuarantined) continue;
       if (shard.report_ready) continue;
       all_ready = false;
-      if (shard.state == Shard::State::kRunning &&
+      // Commands are applied in order, so the report must be encoded after
+      // every admitted batch — window-blocked (unsent) retained batches
+      // would otherwise be invisible to it.
+      const bool all_sent = shard.retained.empty() ||
+                            shard.retained.back().seq <= shard.sent_seq;
+      if (shard.state == Shard::State::kRunning && all_sent &&
           !shard.has_pending(wire::kRspReports)) {
         const std::uint64_t token = ++next_token_;
         send(shard, {wire::kCmdReport, std::to_string(token)});
@@ -797,8 +1024,13 @@ void LocprivService::drain() {
       if (shard.state == Shard::State::kDrained && shard.pid <= 0) continue;
       all_done = false;
       // Dead shards are respawned by the pump (restore + replay) and then
-      // drained, so their retained batches reach a final snapshot too.
-      if (shard.state == Shard::State::kRunning &&
+      // drained, so their retained batches reach a final snapshot too. The
+      // drain frame must follow every admitted batch down the pipe, so a
+      // window-blocked shard keeps pumping until its retained suffix is
+      // fully encoded before the drain is queued.
+      const bool all_sent = shard.retained.empty() ||
+                            shard.retained.back().seq <= shard.sent_seq;
+      if (shard.state == Shard::State::kRunning && all_sent &&
           !shard.has_pending(wire::kRspDrained))
         queue_snapshot(shard, wire::kCmdDrain);
     }
@@ -808,11 +1040,90 @@ void LocprivService::drain() {
                   "drain did not complete within the respawn budget");
     tick(std::chrono::milliseconds(20));
   }
+  // Journal per-shard shed accounting so an audit of the run directory can
+  // reconcile offered == accepted + shed without the process alive. The key
+  // probes upward (like snapshot seqs) so resumed runs append new records.
+  for (const auto& owned : shards_) {
+    const Shard& shard = *owned;
+    if (shard.shed == 0) continue;  // Lossless runs keep the old ledger shape.
+    std::uint64_t n = 1;
+    while (ledger_->completed(shard.name + "/shed/" + std::to_string(n))) ++n;
+    ledger_->record(shard.name + "/shed/" + std::to_string(n),
+                    {std::to_string(shard.offered),
+                     std::to_string(shard.accepted),
+                     std::to_string(shard.shed)});
+  }
   ledger_->sync();
   drained_ = true;
   LOCPRIV_LOG(kInfo, "locprivd")
       << "drained: " << stats_.snapshots << " snapshots journaled, run "
       << "directory resumable";
+}
+
+void LocprivService::note_turnaround(Shard& shard, double sample_ms) {
+  shard.ewma_ms = ewma_update(shard.ewma_ms, sample_ms, options_.ewma_alpha,
+                              shard.ewma_init);
+  shard.ewma_init = true;
+  if (options_.slow_restart_ms.count() > 0 &&
+      shard.ewma_ms >= static_cast<double>(options_.slow_restart_ms.count()) &&
+      shard.state == Shard::State::kRunning) {
+    // A shard this slow is indistinguishable from one about to wedge: give
+    // it the same SIGTERM -> grace -> SIGKILL respawn a missed ping earns.
+    // The respawn replays the retained suffix, so nothing is lost.
+    ++stats_.slow_restarts;
+    shard.last_failure = "slow: turnaround EWMA " +
+                         std::to_string(static_cast<long>(shard.ewma_ms)) +
+                         "ms exceeded restart threshold";
+    shard.state = Shard::State::kTerminating;
+    shard.term_deadline = Clock::now() + options_.term_grace;
+    shard.death_clock_running = true;
+    shard.death_time = Clock::now();
+    ::kill(shard.pid, SIGTERM);
+    return;
+  }
+  if (options_.degraded_ms.count() > 0) {
+    const double threshold = static_cast<double>(options_.degraded_ms.count());
+    if (!shard.degraded && shard.ewma_ms >= threshold) {
+      // Entering a degraded episode: snapshot out of band while the shard
+      // still answers, shrinking the replay a later death would need.
+      shard.degraded = true;
+      ++stats_.degraded_events;
+      if (shard.state == Shard::State::kRunning &&
+          !shard.has_pending(wire::kRspSnapped) &&
+          !shard.has_pending(wire::kRspDrained))
+        queue_snapshot(shard, wire::kCmdSnapshot);
+    } else if (shard.degraded && shard.ewma_ms < 0.5 * threshold) {
+      shard.degraded = false;  // Hysteresis: recovered well clear of it.
+    }
+  }
+}
+
+void LocprivService::inject_turnaround_sample_for_testing(unsigned shard,
+                                                          double ms) {
+  note_turnaround(*shards_.at(shard), ms);
+}
+
+ShardLoad LocprivService::shard_load(unsigned shard) const {
+  const Shard& s = *shards_.at(shard);
+  ShardLoad load;
+  load.offered = s.offered;
+  load.accepted = s.accepted;
+  load.shed = s.shed;
+  load.acked_seq = s.acked_seq;
+  load.submit_seq = s.submit_seq;
+  load.retained_batches = s.retained.size();
+  load.retained_bytes = s.retained_bytes;
+  load.ewma_ms = s.ewma_init ? s.ewma_ms : 0.0;
+  load.degraded = s.degraded;
+  load.quarantined = s.state == Shard::State::kQuarantined;
+  return load;
+}
+
+std::vector<std::string> LocprivService::shed_users() const {
+  std::vector<std::string> users;
+  for (const auto& [user, load] : user_loads_)
+    if (load.batches_shed > 0) users.push_back(user);
+  return users;
 }
 
 std::vector<std::string> LocprivService::quarantined_shards() const {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,27 @@
 #include "sim/faults/process_plan.hpp"
 
 namespace locpriv::service {
+
+/// What to do with a shed-eligible submit when the owning shard's credit
+/// window is full. kRejectNew sheds the incoming batch; kDropOldest evicts
+/// the oldest *unsent* retained batch to admit the new one (falling back to
+/// reject-new when everything retained is already in flight).
+enum class ShedPolicy { kRejectNew, kDropOldest };
+
+/// Outcome of one submit() offer. kBlocked is only returned for lossless
+/// admission when the caller's abort predicate (or a drain request) fired
+/// while waiting for window credit — the batch was neither applied nor
+/// shed, so a resumed run re-offers it.
+enum class Admission { kAccepted, kDeduped, kShed, kBlocked };
+
+/// One step of an exponentially weighted moving average. Exposed as a free
+/// function so the slow-shard detector's arithmetic is unit-testable
+/// without standing up a service.
+inline double ewma_update(double prev, double sample, double alpha,
+                          bool initialized) {
+  if (!initialized) return sample;
+  return alpha * sample + (1.0 - alpha) * prev;
+}
 
 struct ServiceOptions {
   unsigned shards = 2;
@@ -71,6 +93,24 @@ struct ServiceOptions {
   sim::ProcessFaultPlan fault_plan;
   /// Submit batches into the sabotaged incarnation before the fault fires.
   int fault_after_batches = 3;
+  /// Credit window: unacked submit batches a shard may hold in flight
+  /// (encoded or retained past its ack watermark) before admission closes.
+  /// 0 disables the count-based window.
+  std::size_t max_inflight_batches = 64;
+  /// Retained-replay byte cap per shard. Crossing it forces an early
+  /// snapshot (which truncates retained to the snapshot watermark) and
+  /// closes admission until the snapshot lands. 0 disables the byte cap.
+  std::size_t max_retained_bytes = 0;
+  /// Shedding policy for shed-eligible (synthetic/soak) admission.
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  /// Smoothing factor for the per-shard batch-turnaround EWMA.
+  double ewma_alpha = 0.2;
+  /// Turnaround EWMA above this marks the shard degraded and triggers one
+  /// out-of-band snapshot per degraded episode. 0 disables.
+  std::chrono::milliseconds degraded_ms{0};
+  /// Turnaround EWMA above this sends the shard down the existing
+  /// SIGTERM -> grace -> SIGKILL respawn path. 0 disables.
+  std::chrono::milliseconds slow_restart_ms{0};
 };
 
 /// One recovered shard failure, for the bench's recovery-latency metric.
@@ -81,15 +121,55 @@ struct RecoveryRecord {
 };
 
 struct ServiceStats {
+  /// Every batch offered to submit(), whatever its fate. The reconciliation
+  /// identity `offered == submitted + dropped + shed` holds exactly
+  /// (kBlocked offers are not counted: the batch never entered the system).
+  std::uint64_t batches_offered = 0;
   std::uint64_t batches_submitted = 0;  ///< Accepted into a shard stream.
-  std::uint64_t batches_dropped = 0;    ///< Resume-dedupe or quarantined shard.
+  std::uint64_t batches_dropped = 0;    ///< Resume-dedupe only.
+  std::uint64_t batches_shed = 0;       ///< Shed by policy or quarantine.
   std::uint64_t fixes_submitted = 0;
+  std::uint64_t fixes_shed = 0;
+  std::uint64_t shed_reject_new = 0;    ///< Incoming batch rejected at the window edge.
+  std::uint64_t shed_drop_oldest = 0;   ///< Oldest unsent retained batch evicted.
+  std::uint64_t shed_quarantined = 0;   ///< Offered to a quarantined shard.
   std::uint64_t snapshots = 0;
+  std::uint64_t forced_snapshots = 0;   ///< Early snapshots from the retained-byte cap.
+  std::uint64_t degraded_events = 0;    ///< Degraded-EWMA episodes entered.
+  std::uint64_t slow_restarts = 0;      ///< Respawns triggered by the slow-EWMA threshold.
+  std::uint64_t blocked_waits = 0;      ///< Lossless submits that waited for window credit.
   int shard_deaths = 0;
   int respawns = 0;
   std::vector<RecoveryRecord> recoveries;
   /// Latest shard-reported resident state bytes, summed over live shards.
   std::size_t state_bytes = 0;
+  /// High-water marks proving the flow-control caps held.
+  std::size_t retained_bytes_peak = 0;  ///< Max retained replay bytes, any shard.
+  std::size_t pending_ops_peak = 0;     ///< Max pending-op deque depth, any shard.
+  std::size_t outbuf_bytes_peak = 0;    ///< Max unflushed command bytes, any shard.
+};
+
+/// Per-shard flow-control state, for benches and shed reconciliation.
+struct ShardLoad {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t acked_seq = 0;        ///< Highest batch seq acked by the child.
+  std::uint64_t submit_seq = 0;       ///< Highest batch seq accepted by the parent.
+  std::size_t retained_batches = 0;
+  std::size_t retained_bytes = 0;
+  double ewma_ms = 0.0;               ///< Batch-turnaround EWMA (0 until first sample).
+  bool degraded = false;
+  bool quarantined = false;
+};
+
+/// Per-user offered/accepted/shed accounting, for the parity CSV. Users a
+/// run never offered to do not appear.
+struct UserLoad {
+  std::uint64_t batches_offered = 0;
+  std::uint64_t batches_accepted = 0;
+  std::uint64_t batches_shed = 0;
+  std::uint64_t fixes_shed = 0;
 };
 
 class LocprivService {
@@ -113,12 +193,24 @@ class LocprivService {
 
   /// Routes one batch of fixes (non-decreasing timestamps, appended after
   /// everything previously submitted for the user) to the owning shard.
-  /// Returns false when the batch was dropped: its sequence number is
-  /// already covered by a restored snapshot (resume dedupe) or the shard is
-  /// quarantined. Deterministic resubmission of the same schedule therefore
-  /// converges to exactly-once application.
-  bool submit(const std::string& user_id,
-              const std::vector<trace::TracePoint>& fixes);
+  ///
+  /// Admission is governed by the shard's credit window (max_inflight
+  /// unacked batches, max_retained replay bytes). Lossless callers
+  /// (may_shed = false, the corpus path) block inside submit — ticking the
+  /// event loop — until credit opens; they return kBlocked only when the
+  /// abort predicate or a drain request fires first, and the batch is then
+  /// neither applied nor counted shed, so a resumed run re-offers it.
+  /// Shed-eligible callers (may_shed = true, the synthetic/soak path) never
+  /// block: at the window edge the configured ShedPolicy either sheds the
+  /// incoming batch or evicts the oldest unsent one. Offers to a
+  /// quarantined shard shed deterministically. kDeduped means the sequence
+  /// number is already covered by a restored snapshot (resume dedupe);
+  /// deterministic resubmission of the same schedule therefore converges to
+  /// exactly-once application.
+  Admission submit(const std::string& user_id,
+                   const std::vector<trace::TracePoint>& fixes,
+                   bool may_shed = false,
+                   const std::function<bool()>& abort = {});
 
   /// Pumps the event loop once: flushes queued commands, drains shard
   /// responses and stderr, reaps deaths, escalates unhealthy shards,
@@ -145,6 +237,26 @@ class LocprivService {
   const ServiceOptions& options() const { return options_; }
   std::vector<std::string> quarantined_shards() const;
 
+  /// Flow-control snapshot of one shard (offered/accepted/shed, ack and
+  /// submit watermarks, retained footprint, turnaround EWMA).
+  ShardLoad shard_load(unsigned shard) const;
+
+  /// Per-user offered/accepted/shed accounting, keyed by user id. Only
+  /// users this run offered batches for appear.
+  const std::map<std::string, UserLoad>& user_loads() const {
+    return user_loads_;
+  }
+
+  /// User ids with at least one shed batch, sorted. The parity set a bench
+  /// must exclude — everyone else's metrics stay byte-identical.
+  std::vector<std::string> shed_users() const;
+
+  /// Feeds one synthetic turnaround sample (ms) through the same EWMA +
+  /// threshold path a real ack drives. Deterministic hook for tests; the
+  /// thresholds' side effects (out-of-band snapshot, respawn escalation)
+  /// fire exactly as they would under real latency.
+  void inject_turnaround_sample_for_testing(unsigned shard, double ms);
+
   /// Submit-batch watermark a shard restored from its snapshot at startup
   /// (0 = fresh). Exposed for resume-aware drivers and tests.
   std::uint64_t restored_seq(unsigned shard) const;
@@ -170,6 +282,7 @@ class LocprivService {
     std::uint64_t seq = 0;
     std::string frame;  ///< Encoded submit message, replayed verbatim.
     std::size_t fixes = 0;
+    std::string user;   ///< Owner, for shed accounting on drop-oldest.
   };
 
   struct Shard;
@@ -177,6 +290,16 @@ class LocprivService {
   void spawn(Shard& shard);
   void send(Shard& shard, const std::vector<std::string>& fields);
   void pump(std::chrono::milliseconds timeout);
+  /// Encodes retained batches into the shard's outbuf up to the credit
+  /// window (the sent_seq cursor tracks what is already encoded). Called
+  /// from pump() and after every admission, so acks open the window and the
+  /// next unsent batch goes out on the same tick.
+  void pump_submits(Shard& shard);
+  bool window_full(const Shard& shard) const;
+  enum class ShedCause { kRejectNew, kDropOldest, kQuarantined };
+  void account_shed(Shard& shard, const std::string& user, std::size_t fixes,
+                    ShedCause cause);
+  void note_turnaround(Shard& shard, double sample_ms);
   void resume_pointer(Shard& shard);
   void handle_death(Shard& shard, int status);
   void quarantine(Shard& shard, std::string reason);
@@ -195,6 +318,7 @@ class LocprivService {
   std::unique_ptr<harness::RunLedger> ledger_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::map<std::string, unsigned> user_shard_;  ///< Routing cache.
+  std::map<std::string, UserLoad> user_loads_;
   ServiceStats stats_;
   std::uint64_t next_token_ = 0;
   bool drained_ = false;

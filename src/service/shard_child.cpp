@@ -108,7 +108,12 @@ struct ShardState {
 
   void handle_submit(const std::vector<std::string>& cmd) {
     const auto seq = static_cast<std::uint64_t>(parse_i64(cmd[1]));
-    if (seq <= last_seq) return;  // Replayed batch already in a snapshot.
+    if (seq <= last_seq) {
+      // Replayed batch already in a snapshot. Still acked: the parent's
+      // credit window counts every consumed frame, applied or deduped.
+      respond(config.resp_fd, {wire::kRspAck, cmd[1], "0"});
+      return;
+    }
     ++batches_this_incarnation;
     if (options.fault_plan.fault_for(config.name, config.incarnation) !=
             nullptr &&
@@ -130,6 +135,10 @@ struct ShardState {
     }
     last_seq = seq;
     ingested += count;
+    // The ack is the flow-control credit: it is sent only after the batch
+    // is applied, so a crash loses at most the unacked in-flight window and
+    // the parent's retained replay covers exactly that suffix.
+    respond(config.resp_fd, {wire::kRspAck, cmd[1], "1"});
   }
 
   void write_snapshot(const std::vector<std::string>& cmd, const char* verb) {

@@ -6,12 +6,6 @@ namespace locpriv::service::wire {
 
 namespace {
 
-// Caps a single message at 64 MiB and its field count at 1M: a shard report
-// for an entire dataset stays far below both, so anything larger is stream
-// corruption, not data.
-constexpr std::uint32_t kMaxPayload = 64u << 20;
-constexpr std::uint32_t kMaxFields = 1u << 20;
-
 void append_u32(std::string& out, std::uint32_t value) {
   char bytes[4];
   std::memcpy(bytes, &value, sizeof(value));
@@ -55,7 +49,7 @@ bool FrameDecoder::next(std::vector<std::string>& fields) {
   const std::size_t available = buffer_.size() - consumed_;
   if (available < 4) return false;
   const std::uint32_t payload_size = read_u32(buffer_.data() + consumed_);
-  if (payload_size > kMaxPayload || payload_size < 4) {
+  if (payload_size > kMaxPayloadBytes || payload_size < 4) {
     corrupt_ = true;
     return false;
   }
@@ -65,7 +59,7 @@ bool FrameDecoder::next(std::vector<std::string>& fields) {
   std::size_t offset = 0;
   const std::uint32_t count = read_u32(payload);
   offset += 4;
-  if (count > kMaxFields) {
+  if (count > kMaxFieldCount) {
     corrupt_ = true;
     return false;
   }

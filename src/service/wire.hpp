@@ -24,10 +24,16 @@ inline constexpr char kCmdDrain[] = "drain";       ///< snap_seq, file
 
 // Response verbs (shard -> parent).
 inline constexpr char kRspRestored[] = "restored"; ///< last_seq, fixes, status
+inline constexpr char kRspAck[] = "ack";           ///< seq, applied (1) / deduped (0)
 inline constexpr char kRspPong[] = "pong";         ///< token, ingested, state_bytes
 inline constexpr char kRspSnapped[] = "snapped";   ///< snap_seq, last_seq, users, fixes, checksum
 inline constexpr char kRspReports[] = "reports";   ///< token, rows, cols, fields...
 inline constexpr char kRspDrained[] = "drained";   ///< snap_seq, last_seq, users, fixes, checksum
+
+// Stream sanity caps: a single message past 64 MiB or 1M fields is
+// corruption, not data (a whole-dataset shard report stays far below both).
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+inline constexpr std::uint32_t kMaxFieldCount = 1u << 20;
 
 /// Serializes one message: outer u32 payload length, inner field frame.
 std::string encode_message(const std::vector<std::string>& fields);

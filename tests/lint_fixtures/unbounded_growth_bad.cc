@@ -1,0 +1,14 @@
+// Violation: a member deque grows on every tick with no pop, erase, cap,
+// or suppression anywhere near — in an always-on daemon this is a leak.
+#include <deque>
+#include <string>
+
+class EventLog {
+ public:
+  void note(const std::string& line) {
+    history_.push_back(line);
+  }
+
+ private:
+  std::deque<std::string> history_;
+};

@@ -1,0 +1,33 @@
+// Clean twins for unbounded-growth: a push with its trim in sight, a plain
+// local buffer, and a deliberate growth carrying a justified suppression.
+#include <deque>
+#include <string>
+#include <vector>
+
+class BoundedLog {
+ public:
+  void note(const std::string& line) {
+    history_.push_back(line);
+    while (history_.size() > 64) history_.pop_front();
+  }
+
+ private:
+  std::deque<std::string> history_;
+};
+
+std::vector<std::string> collect() {
+  std::vector<std::string> lines;  // Local scratch: dies with the call.
+  lines.push_back("transient");
+  return lines;
+}
+
+class Registry {
+ public:
+  void add(const std::string& name) {
+    // locpriv-lint: allow(unbounded-growth) — one entry per shard, fixed.
+    entries_.push_back(name);
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};

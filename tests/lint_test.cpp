@@ -102,6 +102,24 @@ TEST(LocprivLint, GlobalQualifiedSyscallStillFlagged) {
       lint_source("src/sample.cpp", "Rng r = Rng::fork();\n").empty());
 }
 
+TEST(LocprivLint, UnboundedGrowthPatrolsOnlyLongLivedStateDirs) {
+  // The rule is path-gated: member-container growth with no trim in sight
+  // is flagged under the daemon and supervisor trees, ignored elsewhere
+  // (transient CLI/bench buffers are not production leaks).
+  const std::string bad = read_fixture("unbounded_growth_bad.cc");
+  const auto service = lint_source("src/service/locprivd.cpp", bad);
+  ASSERT_EQ(service.size(), 1u);
+  EXPECT_EQ(service[0].rule, "unbounded-growth");
+  const auto harness = lint_source("src/core/harness/sweep.cpp", bad);
+  ASSERT_EQ(harness.size(), 1u);
+  EXPECT_EQ(harness[0].rule, "unbounded-growth");
+  EXPECT_TRUE(lint_source("src/sample.cpp", bad).empty());
+  // Trimmed, local, and justified-suppressed growth all pass in place.
+  EXPECT_TRUE(lint_source("src/service/locprivd.cpp",
+                          read_fixture("unbounded_growth_clean.cc"))
+                  .empty());
+}
+
 TEST(LocprivLint, UnorderedContainerWithoutSerializationSinkIsClean) {
   EXPECT_TRUE(lint_fixture("unordered_no_sink_clean.cc").empty());
 }
@@ -148,7 +166,7 @@ TEST(LocprivLint, FindingsAreStablyOrderedAndFormatted) {
 
 TEST(LocprivLint, KnownRuleRegistryIsSortedAndComplete) {
   const auto& rules = locpriv::lint::rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   for (std::size_t i = 1; i < rules.size(); ++i)
     EXPECT_LT(rules[i - 1].name, rules[i].name);
   for (const auto& rule : rules)

@@ -7,8 +7,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -85,6 +87,37 @@ TEST(ServiceWire, OversizedPayloadLengthLatchesCorrupt) {
   EXPECT_TRUE(decoder.corrupt());
 }
 
+std::string raw_u32(std::uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, sizeof(value));
+  return std::string(bytes, sizeof(bytes));
+}
+
+TEST(ServiceWire, PayloadJustPastTheCapLatchesCorrupt) {
+  // Exactly one byte over the 64 MiB cap: the decoder must refuse without
+  // buffering toward the declared length.
+  wire::FrameDecoder decoder;
+  const std::string header = raw_u32(wire::kMaxPayloadBytes + 1);
+  decoder.feed(header.data(), header.size());
+  std::vector<std::string> fields;
+  EXPECT_FALSE(decoder.next(fields));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(ServiceWire, FieldCountPastTheCapLatchesCorrupt) {
+  // A plausible outer length hiding an absurd inner field count (claiming
+  // a million-plus fields in an 8-byte payload) is corruption, not data.
+  const std::string payload =
+      raw_u32(wire::kMaxFieldCount + 1) + raw_u32(0);
+  const std::string message =
+      raw_u32(static_cast<std::uint32_t>(payload.size())) + payload;
+  wire::FrameDecoder decoder;
+  decoder.feed(message.data(), message.size());
+  std::vector<std::string> fields;
+  EXPECT_FALSE(decoder.next(fields));
+  EXPECT_TRUE(decoder.corrupt());
+}
+
 // -------------------------------------------------------- rolling tail ----
 
 TEST(ServiceRollingTail, KeepsOnlyTheLastCapBytes) {
@@ -111,6 +144,38 @@ TEST(ServiceRollingTail, OneLineFlattensNewlines) {
   RollingTail tail(64);
   tail.append("first\nsecond\n", 13);
   EXPECT_EQ(tail.one_line(), "first second");
+}
+
+TEST(ServiceRollingTail, ZeroCapRetainsNothingButCountsEverything) {
+  RollingTail tail(0);
+  tail.append("noisy shard", 11);
+  EXPECT_EQ(tail.text(), "");
+  EXPECT_EQ(tail.retained(), 0u);
+  EXPECT_EQ(tail.total_seen(), 11u);
+  EXPECT_EQ(tail.one_line(), "");
+}
+
+TEST(ServiceRollingTail, ExactCapAppendKeepsTheWholeChunk) {
+  RollingTail tail(8);
+  tail.append("12345678", 8);  // size == cap, the >= boundary.
+  EXPECT_EQ(tail.text(), "12345678");
+  tail.append("abcdefgh", 8);  // A second exact-cap chunk replaces it all.
+  EXPECT_EQ(tail.text(), "abcdefgh");
+  EXPECT_EQ(tail.retained(), 8u);
+  EXPECT_EQ(tail.total_seen(), 16u);
+}
+
+TEST(ServiceRollingTail, ManySmallChunksWrapToTheSuffix) {
+  RollingTail tail(16);
+  std::string all;
+  for (int i = 0; i < 9; ++i) {
+    const std::string chunk = "chunk" + std::to_string(i) + ";";
+    tail.append(chunk.data(), chunk.size());
+    all += chunk;
+  }
+  EXPECT_EQ(tail.text(), all.substr(all.size() - 16));
+  EXPECT_EQ(tail.retained(), 16u);
+  EXPECT_EQ(tail.total_seen(), all.size());
 }
 
 // ------------------------------------------------------------ snapshot ----
@@ -242,6 +307,12 @@ TEST(ServiceFailover, HealthyRunMatchesBatchPipelineByteForByte) {
   daemon.drain();
   EXPECT_EQ(daemon.stats().shard_deaths, 0);
   EXPECT_TRUE(daemon.quarantined_shards().empty());
+  // Lossless admission never sheds; the offer ledger reconciles exactly.
+  const ServiceStats& stats = daemon.stats();
+  EXPECT_EQ(stats.batches_shed, 0u);
+  EXPECT_EQ(stats.batches_offered,
+            stats.batches_submitted + stats.batches_dropped);
+  EXPECT_TRUE(daemon.shed_users().empty());
 }
 
 TEST(ServiceFailover, CrashedShardRespawnsFromSnapshotWithParity) {
@@ -421,6 +492,191 @@ TEST(ServiceFailover, FreshRunRefusesADirectoryWithALedger) {
   } catch (const Error& error) {
     EXPECT_EQ(error.code(), ErrorCode::kResume);
   }
+}
+
+// ------------------------------------------------------------ overload ----
+
+TEST(ServiceOverload, EwmaUpdateInitializesThenSmooths) {
+  // First sample seeds the average regardless of prev.
+  EXPECT_DOUBLE_EQ(ewma_update(999.0, 40.0, 0.2, false), 40.0);
+  // Subsequent samples blend: 0.2 * 100 + 0.8 * 40 = 52.
+  EXPECT_DOUBLE_EQ(ewma_update(40.0, 100.0, 0.2, true), 52.0);
+  // A constant stream is a fixed point.
+  EXPECT_DOUBLE_EQ(ewma_update(40.0, 40.0, 0.2, true), 40.0);
+}
+
+std::vector<trace::TracePoint> tiny_batch(int fixes, std::int64_t base_ts) {
+  std::vector<trace::TracePoint> batch;
+  for (int i = 0; i < fixes; ++i) {
+    trace::TracePoint fix;
+    fix.position.lat_deg = 39.9 + 0.001 * i;
+    fix.position.lon_deg = 116.3 + 0.001 * i;
+    fix.timestamp_s = base_ts + 60 * i;
+    batch.push_back(fix);
+  }
+  return batch;
+}
+
+/// Ticks until `done` reports true; fails the test on a wall-clock budget.
+void tick_until(LocprivService& daemon, const std::function<bool()>& done,
+                std::chrono::seconds budget = std::chrono::seconds(20)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "service never reached the expected state";
+    daemon.tick(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(ServiceOverload, WindowEdgeShedsSyntheticAndBlocksLossless) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.max_inflight_batches = 4;
+  options.shed_policy = ShedPolicy::kRejectNew;
+  // The first incarnation wedges (SIGTERM-ignoring) on its first batch, so
+  // nothing acks and the credit window fills exactly.
+  options.fault_plan = sim::ProcessFaultPlan::parse("hang:1@shard0");
+  options.fault_after_batches = 1;
+  LocprivService daemon(options, analyzer, fresh_dir("window_edge"), false);
+
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496641200 + 1000 * i),
+                            /*may_shed=*/true),
+              Admission::kAccepted);
+  // Window exhausted: shed-eligible offers are rejected...
+  EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496650000), true),
+            Admission::kShed);
+  // ...and a lossless offer whose caller gives up reports kBlocked without
+  // entering the system.
+  EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496660000), false,
+                          [] { return true; }),
+            Admission::kBlocked);
+  EXPECT_GE(daemon.stats().blocked_waits, 1u);
+
+  // A patient lossless offer blocks through wedge detection, SIGKILL,
+  // respawn, and replay — then lands. Data is never shed on this path.
+  EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496660000), false),
+            Admission::kAccepted);
+  daemon.drain();
+
+  const ServiceStats& stats = daemon.stats();
+  EXPECT_GE(stats.shard_deaths, 1);
+  EXPECT_EQ(stats.shed_reject_new, 1u);
+  EXPECT_EQ(stats.batches_shed, 1u);
+  EXPECT_EQ(stats.batches_submitted, 5u);
+  EXPECT_EQ(stats.batches_offered,
+            stats.batches_submitted + stats.batches_dropped +
+                stats.batches_shed);
+  EXPECT_LE(stats.pending_ops_peak, options.max_inflight_batches + 4);
+  const auto& loads = daemon.user_loads();
+  ASSERT_EQ(loads.count("user_w"), 1u);
+  EXPECT_EQ(loads.at("user_w").batches_offered, 6u);
+  EXPECT_EQ(loads.at("user_w").batches_accepted, 5u);
+  EXPECT_EQ(loads.at("user_w").batches_shed, 1u);
+  EXPECT_EQ(daemon.shed_users(), std::vector<std::string>{"user_w"});
+}
+
+TEST(ServiceOverload, DropOldestEvictsUnsentBatchesWhileShardIsDown) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.max_inflight_batches = 2;
+  options.shed_policy = ShedPolicy::kDropOldest;
+  options.fault_plan = sim::ProcessFaultPlan::parse("crash:1@shard0");
+  options.fault_after_batches = 1;
+  // A long respawn backoff keeps the shard down while we queue into it.
+  options.backoff_base = std::chrono::milliseconds(400);
+  LocprivService daemon(options, analyzer, fresh_dir("drop_oldest"), false);
+
+  EXPECT_EQ(daemon.submit("user_a", tiny_batch(2, 1496641200), true),
+            Admission::kAccepted);
+  // The child segfaults on that batch; wait for the supervisor to reap it.
+  tick_until(daemon, [&] { return daemon.stats().shard_deaths >= 1; });
+
+  // During backoff the sent cursor is rewound, so both retained batches are
+  // unsent; the window (2) fills, and drop-oldest evicts the oldest unsent
+  // batch to admit the newest.
+  EXPECT_EQ(daemon.submit("user_b", tiny_batch(2, 1496650000), true),
+            Admission::kAccepted);
+  EXPECT_EQ(daemon.submit("user_c", tiny_batch(2, 1496660000), true),
+            Admission::kAccepted);
+  daemon.drain();
+
+  const ServiceStats& stats = daemon.stats();
+  EXPECT_EQ(stats.shed_drop_oldest, 1u);
+  EXPECT_EQ(stats.batches_shed, 1u);
+  EXPECT_EQ(stats.batches_submitted, 2u);  // user_a's batch was evicted.
+  EXPECT_EQ(stats.batches_offered,
+            stats.batches_submitted + stats.batches_dropped +
+                stats.batches_shed);
+  EXPECT_EQ(daemon.shed_users(), std::vector<std::string>{"user_a"});
+  const ShardLoad load = daemon.shard_load(0);
+  EXPECT_EQ(load.offered, 3u);
+  EXPECT_EQ(load.accepted, 2u);
+  EXPECT_EQ(load.shed, 1u);
+}
+
+TEST(ServiceOverload, RetainedByteCapForcesEarlySnapshotsAndHolds) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.max_inflight_batches = 0;  // Only the byte cap governs admission.
+  options.max_retained_bytes = 16 * 1024;
+  // Cadence snapshots would mask the cap; push them out of the run.
+  options.snapshot_interval = std::chrono::milliseconds(60000);
+  const auto traffic = quick_traffic();
+  LocprivService daemon(options, analyzer, fresh_dir("byte_cap"), false);
+  drive_traffic(daemon, analyzer, traffic);
+  expect_parity(analyzer, options, traffic, daemon.collect_reports());
+  daemon.drain();
+
+  const ServiceStats& stats = daemon.stats();
+  EXPECT_GE(stats.forced_snapshots, 1u);
+  EXPECT_EQ(stats.batches_shed, 0u);  // Lossless blocking, never shedding.
+  // The peak may overshoot by at most the one batch admitted at the edge.
+  EXPECT_LE(stats.retained_bytes_peak, options.max_retained_bytes + 8 * 1024);
+  EXPECT_EQ(daemon.shard_load(0).retained_bytes, 0u);  // Drain truncates all.
+}
+
+TEST(ServiceOverload, DegradedEwmaTriggersOutOfBandSnapshotPerEpisode) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.degraded_ms = std::chrono::milliseconds(50);
+  LocprivService daemon(options, analyzer, fresh_dir("degraded"), false);
+
+  daemon.inject_turnaround_sample_for_testing(0, 200.0);
+  EXPECT_EQ(daemon.stats().degraded_events, 1u);
+  EXPECT_TRUE(daemon.shard_load(0).degraded);
+  // Staying slow extends the same episode; no double-count.
+  daemon.inject_turnaround_sample_for_testing(0, 200.0);
+  EXPECT_EQ(daemon.stats().degraded_events, 1u);
+  // Recovery needs the EWMA below half the threshold (hysteresis)...
+  for (int i = 0; i < 16; ++i)
+    daemon.inject_turnaround_sample_for_testing(0, 0.0);
+  EXPECT_FALSE(daemon.shard_load(0).degraded);
+  // ...after which a new slow spell is a second episode.
+  daemon.inject_turnaround_sample_for_testing(0, 400.0);
+  EXPECT_EQ(daemon.stats().degraded_events, 2u);
+  tick_until(daemon, [&] { return daemon.stats().snapshots >= 1u; });
+  daemon.drain();
+}
+
+TEST(ServiceOverload, SlowEwmaRestartsTheShardThroughTheRespawnPath) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.slow_restart_ms = std::chrono::milliseconds(50);
+  LocprivService daemon(options, analyzer, fresh_dir("slow_restart"), false);
+
+  EXPECT_EQ(daemon.submit("user_s", tiny_batch(2, 1496641200), false),
+            Admission::kAccepted);
+  daemon.inject_turnaround_sample_for_testing(0, 500.0);
+  EXPECT_EQ(daemon.stats().slow_restarts, 1u);
+  tick_until(daemon, [&] {
+    return daemon.stats().shard_deaths >= 1 && daemon.stats().respawns >= 1;
+  });
+  daemon.drain();
+  // The restart rode the normal death/replay path: nothing was lost.
+  EXPECT_EQ(daemon.stats().batches_submitted, 1u);
+  EXPECT_EQ(daemon.stats().batches_shed, 0u);
+  EXPECT_TRUE(daemon.quarantined_shards().empty());
 }
 
 }  // namespace

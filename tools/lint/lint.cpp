@@ -138,6 +138,7 @@ constexpr std::string_view kUnorderedSerialize = "unordered-serialize";
 constexpr std::string_view kSwallowedCatch = "swallowed-catch";
 constexpr std::string_view kExitCall = "exit-call";
 constexpr std::string_view kRawProcess = "raw-process";
+constexpr std::string_view kUnboundedGrowth = "unbounded-growth";
 constexpr std::string_view kBadSuppression = "bad-suppression";
 
 const std::regex& raw_write_re() {
@@ -209,6 +210,51 @@ const std::regex& handler_forwards_re() {
   static const std::regex re(
       R"re(\bthrow\b|\bcurrent_exception\b|\brethrow_exception\b|\babort\s*\()re");
   return re;
+}
+
+// Growth calls whose receiver is a member-access chain. Capture 1 is the
+// chain ("shard.retained." / "stats_."), capture 2 the growth verb.
+const std::regex& growth_call_re() {
+  static const std::regex re(
+      R"re(((?:[A-Za-z_]\w*(?:\.|->))+)(push_back|emplace_back|push_front|emplace_front)\s*\()re");
+  return re;
+}
+
+// Evidence nearby code bounds the container: any explicit trim/reset call.
+const std::regex& trim_token_re() {
+  static const std::regex re(
+      R"re(\b(pop_front|pop_back|erase|resize|clear|shrink_to_fit)\s*\()re");
+  return re;
+}
+
+// Long-lived state heuristic: a chained receiver (`shard.retained`) or any
+// component with the trailing-underscore member convention (`stats_`).
+// Plain locals (`fields.push_back`) pass — the rule targets containers that
+// outlive one call, where growth without a cap is a slow memory leak in an
+// always-on service.
+bool member_like_receiver(std::string chain) {
+  std::string::size_type arrow;
+  while ((arrow = chain.find("->")) != std::string::npos)
+    chain.replace(arrow, 2, ".");
+  std::size_t components = 0;
+  std::stringstream parts(chain);
+  std::string part;
+  bool member_named = false;
+  while (std::getline(parts, part, '.')) {
+    if (part.empty()) continue;
+    ++components;
+    if (part.back() == '_') member_named = true;
+  }
+  return components >= 2 || member_named;
+}
+
+// The unbounded-growth rule only patrols the always-on daemon and the
+// long-running sweep supervisor — the places where a slowly growing
+// container is a production memory leak rather than a transient buffer.
+bool is_longlived_state_path(std::string_view path) {
+  const std::string p(path);
+  return p.find("src/service/") != std::string::npos ||
+         p.find("src/core/harness/") != std::string::npos;
 }
 
 const std::regex& suppression_re() {
@@ -324,6 +370,10 @@ const std::vector<RuleInfo>& rules() {
       {kSwallowedCatch,
        "catch (...) that neither rethrows, stores current_exception, nor aborts "
        "— concurrent failures must never be silently dropped"},
+      {kUnboundedGrowth,
+       "push/emplace onto long-lived state under src/service/ or "
+       "src/core/harness/ with no cap or trim in sight; an always-on daemon "
+       "must bound every container (window, watermark, or rolling cap)"},
       {kUnorderedSerialize,
        "std::unordered_{map,set} in a file that serializes output; iteration "
        "order is nondeterministic, so artifact bytes can vary run to run"},
@@ -348,6 +398,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
 
   const bool harness_file = is_harness_path(path);
   const bool process_owner_file = may_own_processes(path);
+  const bool longlived_file = is_longlived_state_path(path);
   const bool main_file = std::regex_search(views.code, main_definition_re());
   const bool serializes = std::regex_search(views.code, serialize_sink_re());
 
@@ -389,6 +440,28 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view content
                 "() outside src/core/harness/ or src/service/; run children "
                 "through harness::Supervisor or service::LocprivService so "
                 "rlimits, reaping, and graceful shutdown stay centralized");
+        break;  // One finding per line, matching the other rules.
+      }
+    }
+    if (longlived_file) {
+      for (auto match = std::sregex_iterator(code.begin(), code.end(),
+                                             growth_call_re());
+           match != std::sregex_iterator(); ++match) {
+        if (!member_like_receiver((*match)[1].str())) continue;
+        // A trim/reset within eight code lines either way is taken as the
+        // matching bound (the pop to this push). Anything subtler needs an
+        // explicit locpriv-lint: allow(unbounded-growth) with a reason.
+        bool trimmed = false;
+        const std::size_t lo = i >= 8 ? i - 8 : 0;
+        const std::size_t hi = std::min(code_lines.size() - 1, i + 8);
+        for (std::size_t j = lo; j <= hi && !trimmed; ++j)
+          trimmed = std::regex_search(code_lines[j], trim_token_re());
+        if (trimmed) continue;
+        add(line, kUnboundedGrowth,
+            "growth of long-lived container '" + (*match)[1].str() +
+                (*match)[2].str() +
+                "' with no cap or trim within 8 lines; bound it (window, "
+                "watermark, rolling cap) or suppress with a justification");
         break;  // One finding per line, matching the other rules.
       }
     }

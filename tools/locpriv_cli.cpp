@@ -67,6 +67,9 @@ int usage() {
       "                [--snapshot-every-ms MS] [--max-respawns N] [--backoff-ms MS]\n"
       "                [--shard-rlimit-mb N] [--shard-cpu-s N]\n"
       "                [--fault-shards SPEC] [--fault-after N]\n"
+      "                [--max-inflight-batches N] [--max-retained-mb N]\n"
+      "                [--shed-policy reject-new|drop-oldest] [--admit block|shed]\n"
+      "                [--degraded-ms MS] [--slow-restart-ms MS]\n"
       "\n"
       "serve runs the locprivd audit service: users are sharded across forked\n"
       "worker processes fed over pipes, supervised by heartbeat, snapshotted\n"
@@ -75,6 +78,16 @@ int usage() {
       "continues from the journaled snapshots (a different --shards count is\n"
       "refused with exit 6). --fault-shards injects crash|hang|alloc faults,\n"
       "e.g. \"crash@shard0,hang:2@shard1\".\n"
+      "\n"
+      "Overload control: each shard acks applied batches; the parent stops\n"
+      "encoding past --max-inflight-batches unacked batches and forces an\n"
+      "early snapshot when retained replay bytes cross --max-retained-mb.\n"
+      "--admit block (default) gives lossless backpressure; --admit shed\n"
+      "sheds at the window edge per --shed-policy, with per-user\n"
+      "offered/accepted/shed columns appended to the --csv rows and\n"
+      "per-shard shed counters journaled to the ledger. --degraded-ms /\n"
+      "--slow-restart-ms set turnaround-EWMA thresholds for out-of-band\n"
+      "snapshots and slow-shard respawns.\n"
       "\n"
       "--lenient quarantines corrupt .plt files instead of aborting, prints the\n"
       "ingest report, and exits with code 3 when anything was quarantined.\n"
@@ -507,6 +520,12 @@ int cmd_serve(int argc, const char* const* argv) {
   args.declare("--shard-cpu-s", "0");
   args.declare("--fault-shards", "");
   args.declare("--fault-after", "3");
+  args.declare("--max-inflight-batches", "64");
+  args.declare("--max-retained-mb", "64");
+  args.declare("--shed-policy", "reject-new");
+  args.declare("--admit", "block");
+  args.declare("--degraded-ms", "0");
+  args.declare("--slow-restart-ms", "0");
   args.declare_bool("--lenient");
   args.parse(argc, argv, 2);
 
@@ -557,11 +576,31 @@ int cmd_serve(int argc, const char* const* argv) {
   if (!args.get("--fault-shards").empty())
     options.fault_plan = sim::ProcessFaultPlan::parse(args.get("--fault-shards"));
   options.fault_after_batches = static_cast<int>(args.get_int("--fault-after"));
+  options.max_inflight_batches =
+      static_cast<std::size_t>(args.get_int("--max-inflight-batches"));
+  options.max_retained_bytes =
+      static_cast<std::size_t>(args.get_int("--max-retained-mb")) * 1024 * 1024;
+  if (args.get("--shed-policy") == "reject-new") {
+    options.shed_policy = service::ShedPolicy::kRejectNew;
+  } else if (args.get("--shed-policy") == "drop-oldest") {
+    options.shed_policy = service::ShedPolicy::kDropOldest;
+  } else {
+    throw Error(ErrorCode::kUsage,
+                "--shed-policy must be reject-new or drop-oldest");
+  }
+  options.degraded_ms = std::chrono::milliseconds(args.get_int("--degraded-ms"));
+  options.slow_restart_ms =
+      std::chrono::milliseconds(args.get_int("--slow-restart-ms"));
 
   service::TrafficOptions traffic;
   traffic.batch_size = static_cast<std::size_t>(args.get_int("--batch"));
   traffic.rounds = static_cast<int>(args.get_int("--rounds"));
   traffic.pace = std::chrono::milliseconds(args.get_int("--pace-ms"));
+  if (args.get("--admit") == "shed") {
+    traffic.may_shed = true;
+  } else if (args.get("--admit") != "block") {
+    throw Error(ErrorCode::kUsage, "--admit must be block or shed");
+  }
 
   service::LocprivService::clear_shutdown();
   std::signal(SIGINT, service::LocprivService::request_shutdown);
@@ -587,26 +626,44 @@ int cmd_serve(int argc, const char* const* argv) {
   const std::vector<std::string> header = {
       "user", "interval_s", "collected_fixes", "extracted_pois", "poi_total",
       "poi_sensitive", "hisbin_visits", "hisbin_movements", "breach",
-      "deg_anonymity_p2"};
+      "deg_anonymity_p2", "batches_offered", "batches_accepted",
+      "batches_shed"};
+  // Shed accounting rides along as extra columns so the CSV alone shows
+  // which users' metrics are complete (shed == 0) and reconciles
+  // offered == accepted + shed per user.
+  const auto& loads = daemon.user_loads();
+  auto annotate = [&loads](std::vector<std::string> row) {
+    const auto it = row.empty() ? loads.end() : loads.find(row.front());
+    if (it != loads.end()) {
+      row.push_back(std::to_string(it->second.batches_offered));
+      row.push_back(std::to_string(it->second.batches_accepted));
+      row.push_back(std::to_string(it->second.batches_shed));
+    } else {
+      row.insert(row.end(), {"0", "0", "0"});
+    }
+    return row;
+  };
   if (!args.get("--csv").empty()) {
     harness::AtomicFileWriter out(args.get("--csv"));
     util::CsvWriter csv(out.stream());
     csv.write_row(header);
-    for (const auto& row : rows) csv.write_row(row);
+    for (const auto& row : rows) csv.write_row(annotate(row));
     out.commit();
     std::cerr << "audit rows -> " << args.get("--csv") << '\n';
   } else {
     util::CsvWriter csv(std::cout);
     csv.write_row(header);
-    for (const auto& row : rows) csv.write_row(row);
+    for (const auto& row : rows) csv.write_row(annotate(row));
   }
   daemon.drain();
 
   const service::ServiceStats& stats = daemon.stats();
-  std::cerr << "serve: " << stats.batches_submitted << " batches ("
-            << stats.fixes_submitted << " fixes) across "
-            << daemon.options().shards << " shards, " << stats.snapshots
-            << " snapshots, " << stats.shard_deaths << " deaths, "
+  std::cerr << "serve: " << stats.batches_offered << " batches offered, "
+            << stats.batches_submitted << " accepted ("
+            << stats.fixes_submitted << " fixes), " << stats.batches_shed
+            << " shed across " << daemon.options().shards << " shards, "
+            << stats.snapshots << " snapshots (" << stats.forced_snapshots
+            << " forced), " << stats.shard_deaths << " deaths, "
             << stats.respawns << " respawns\n";
   const auto quarantined = daemon.quarantined_shards();
   for (const auto& name : quarantined)
