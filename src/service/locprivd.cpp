@@ -114,7 +114,10 @@ struct LocprivService::Shard {
   std::deque<PendingOp> pending;
   std::deque<RetainedBatch> retained;  ///< Accepted but not yet snapshotted.
 
-  std::uint64_t submit_seq = 0;       ///< Last assigned submit sequence.
+  /// Last consumed submit sequence. Every non-blocked offer consumes one —
+  /// shed offers included — so the offer-to-seq mapping is a pure function
+  /// of the deterministic schedule and survives resume (see submit()).
+  std::uint64_t submit_seq = 0;
   std::uint64_t acked_seq = 0;        ///< Highest submit seq the child acked.
   std::uint64_t sent_seq = 0;         ///< Highest submit seq encoded for the
                                       ///< current incarnation (credit cursor).
@@ -426,7 +429,9 @@ Admission LocprivService::submit(const std::string& user_id,
       shard.submit_seq + 1 <= shard.restored_seq) {
     // Resume dedupe: the deterministic schedule re-offers batches a restored
     // snapshot already covers; they are dropped without touching the shard
-    // (and without consuming window credit).
+    // (and without consuming window credit). A batch shed in the original
+    // run consumed its seq too, so it lands here counted as dropped — never
+    // applied in either run, exactly as it would have been.
     ++shard.submit_seq;
     ++stats_.batches_offered;
     ++shard.offered;
@@ -435,72 +440,71 @@ Admission LocprivService::submit(const std::string& user_id,
     return Admission::kDeduped;
   }
 
-  if (shard.state != Shard::State::kQuarantined && window_full(shard)) {
-    if (!may_shed) {
-      // Lossless backpressure: the corpus path waits for window credit,
-      // pumping the event loop so acks, snapshots, and respawns progress.
-      // Aborting here leaves the batch unaccounted — it never entered the
-      // system, so a resumed run re-offers it.
-      ++stats_.blocked_waits;
-      while (window_full(shard) &&
-             shard.state != Shard::State::kQuarantined) {
-        if (shutdown_requested() || (abort && abort()))
-          return Admission::kBlocked;
-        tick(std::chrono::milliseconds(5));
-      }
-      if (shard.state != Shard::State::kQuarantined) {
-        ++stats_.batches_offered;
-        ++shard.offered;
-        ++user_loads_[user_id].batches_offered;
-      }
-    } else {
-      ++stats_.batches_offered;
-      ++shard.offered;
-      ++user_loads_[user_id].batches_offered;
+  if (!may_shed && shard.state != Shard::State::kQuarantined &&
+      window_full(shard)) {
+    // Lossless backpressure: the corpus path waits for window credit,
+    // pumping the event loop so acks, snapshots, and respawns progress.
+    // Aborting here leaves the batch unaccounted — no sequence number was
+    // consumed and it never entered the system, so a resumed run re-offers
+    // it as the same offer ordinal.
+    ++stats_.blocked_waits;
+    while (window_full(shard) && shard.state != Shard::State::kQuarantined) {
+      if (shutdown_requested() || (abort && abort()))
+        return Admission::kBlocked;
+      tick(std::chrono::milliseconds(5));
+    }
+  }
+
+  // Past this point every offer — shed or accepted — consumes exactly one
+  // submit seq. Shedding is timing-dependent, so if shed offers skipped
+  // seqs, a resumed run's offer-to-seq mapping would shift against the
+  // restored watermark: earlier offers would be silently deduped and later
+  // ones re-applied on top of the snapshot that already covers them.
+  // Consuming the seq keeps the mapping a pure function of the offer
+  // schedule; the child tolerates the resulting seq gaps (it tracks the
+  // highest applied seq, not contiguity).
+  const std::uint64_t seq = ++shard.submit_seq;
+  ++stats_.batches_offered;
+  ++shard.offered;
+  ++user_loads_[user_id].batches_offered;
+
+  if (shard.state == Shard::State::kQuarantined) {
+    account_shed(shard, user_id, fixes.size(), ShedCause::kQuarantined);
+    return Admission::kShed;
+  }
+
+  if (may_shed && window_full(shard)) {
+    if (options_.shed_policy == ShedPolicy::kDropOldest) {
       // Drop-oldest can only evict a batch that is not yet on the wire (a
-      // consumed frame cannot be unsent); with everything retained already
-      // in flight it falls back to rejecting the incoming batch.
-      const auto oldest_unsent = std::lower_bound(
-          shard.retained.begin(), shard.retained.end(), shard.sent_seq,
-          [](const RetainedBatch& batch, std::uint64_t sent) {
-            return batch.seq <= sent;
-          });
-      if (options_.shed_policy == ShedPolicy::kDropOldest &&
-          oldest_unsent != shard.retained.end()) {
+      // consumed frame cannot be unsent). One eviction may free fewer bytes
+      // than the incoming frame needs, so keep evicting until the window —
+      // count and byte cap both — actually reopens; if everything retained
+      // is already in flight the incoming batch is rejected instead.
+      while (window_full(shard)) {
+        const auto oldest_unsent = std::lower_bound(
+            shard.retained.begin(), shard.retained.end(), shard.sent_seq,
+            [](const RetainedBatch& batch, std::uint64_t sent) {
+              return batch.seq <= sent;
+            });
+        if (oldest_unsent == shard.retained.end()) break;
         // Reclassify the evicted batch from submitted to shed so
         // `offered == submitted + dropped + shed` keeps reconciling.
         --stats_.batches_submitted;
         stats_.fixes_submitted -= oldest_unsent->fixes;
         --shard.accepted;
-        UserLoad& evicted = user_loads_[oldest_unsent->user];
-        --evicted.batches_accepted;
+        --user_loads_[oldest_unsent->user].batches_accepted;
         account_shed(shard, oldest_unsent->user, oldest_unsent->fixes,
                      ShedCause::kDropOldest);
         shard.retained_bytes -= oldest_unsent->frame.size();
         shard.retained.erase(oldest_unsent);
-        // Fall through: the freed slot admits the incoming batch.
-      } else {
-        account_shed(shard, user_id, fixes.size(), ShedCause::kRejectNew);
-        return Admission::kShed;
       }
     }
-  } else if (may_shed || shard.state != Shard::State::kQuarantined) {
-    ++stats_.batches_offered;
-    ++shard.offered;
-    ++user_loads_[user_id].batches_offered;
-  }
-
-  if (shard.state == Shard::State::kQuarantined) {
-    if (!may_shed) {
-      ++stats_.batches_offered;
-      ++shard.offered;
-      ++user_loads_[user_id].batches_offered;
+    if (window_full(shard)) {
+      account_shed(shard, user_id, fixes.size(), ShedCause::kRejectNew);
+      return Admission::kShed;
     }
-    account_shed(shard, user_id, fixes.size(), ShedCause::kQuarantined);
-    return Admission::kShed;
   }
 
-  const std::uint64_t seq = ++shard.submit_seq;
   std::vector<std::string> fields;
   fields.reserve(4 + fixes.size() * 3);
   fields.push_back(wire::kCmdSubmit);
@@ -541,8 +545,12 @@ void LocprivService::pump_submits(Shard& shard) {
         return batch.seq <= sent;
       });
   for (auto it = first_unsent; it != shard.retained.end(); ++it) {
+    // Gate on the count of actually sent-but-unacked batches (sent_times is
+    // pushed on encode, popped on ack), not sent_seq - acked_seq: shed and
+    // drop-oldest-evicted offers leave seq holes above acked_seq that were
+    // never sent, and the subtraction would count them as in flight.
     if (options_.max_inflight_batches > 0 &&
-        shard.sent_seq - shard.acked_seq >= options_.max_inflight_batches)
+        shard.sent_times.size() >= options_.max_inflight_batches)
       break;  // Window edge: encoding resumes as acks arrive.
     shard.outbuf += it->frame;
     shard.sent_seq = it->seq;
@@ -947,6 +955,12 @@ void LocprivService::record_snapshot(Shard& shard,
   }
   shard.acked_seq = std::max(shard.acked_seq, last_seq);
   shard.sent_seq = std::max(shard.sent_seq, last_seq);
+  // The floored watermark covers these in-flight entries too: drop them so
+  // sent_times stays an exact count of sent-but-unacked batches (the
+  // encoding gate in pump_submits) even when individual acks were lost.
+  while (!shard.sent_times.empty() &&
+         shard.sent_times.front().first <= last_seq)
+    shard.sent_times.pop_front();
   // Keep the previous snapshot as the resume fallback; reclaim older ones.
   if (snap_seq >= 3) {
     std::error_code ec;

@@ -155,7 +155,10 @@ struct ShardLoad {
   std::uint64_t accepted = 0;
   std::uint64_t shed = 0;
   std::uint64_t acked_seq = 0;        ///< Highest batch seq acked by the child.
-  std::uint64_t submit_seq = 0;       ///< Highest batch seq accepted by the parent.
+  /// Highest batch seq consumed by the parent. Shed offers consume seqs too
+  /// (leaving gaps the child tolerates), so this can exceed the accepted
+  /// count; see submit().
+  std::uint64_t submit_seq = 0;
   std::size_t retained_batches = 0;
   std::size_t retained_bytes = 0;
   double ewma_ms = 0.0;               ///< Batch-turnaround EWMA (0 until first sample).
@@ -206,7 +209,10 @@ class LocprivService {
   /// quarantined shard shed deterministically. kDeduped means the sequence
   /// number is already covered by a restored snapshot (resume dedupe);
   /// deterministic resubmission of the same schedule therefore converges to
-  /// exactly-once application.
+  /// exactly-once application. Every outcome except kBlocked consumes one
+  /// per-shard sequence number — shed offers included — so the Nth offer
+  /// maps to the same seq in every run and the resume watermark comparison
+  /// stays aligned even though shedding itself is timing-dependent.
   Admission submit(const std::string& user_id,
                    const std::vector<trace::TracePoint>& fixes,
                    bool may_shed = false,

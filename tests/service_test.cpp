@@ -615,6 +615,103 @@ TEST(ServiceOverload, DropOldestEvictsUnsentBatchesWhileShardIsDown) {
   EXPECT_EQ(load.shed, 1u);
 }
 
+TEST(ServiceOverload, ShedOffersConsumeSeqsSoResumeStaysAligned) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.max_inflight_batches = 2;
+  options.shed_policy = ShedPolicy::kRejectNew;
+  // The first incarnation wedges on its first batch, so nothing acks, the
+  // window fills, and the shed below lands mid-schedule.
+  options.fault_plan = sim::ProcessFaultPlan::parse("hang:1@shard0");
+  options.fault_after_batches = 1;
+  const fs::path run_dir = fresh_dir("shed_resume");
+
+  {
+    LocprivService daemon(options, analyzer, run_dir, false);
+    EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496641200), true),
+              Admission::kAccepted);  // seq 1 — wedges the child.
+    EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496642200), true),
+              Admission::kAccepted);  // seq 2 — window (2) now full.
+    EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496643200), true),
+              Admission::kShed);  // Shed, but must still consume seq 3.
+    // A patient lossless offer blocks through wedge detection, SIGKILL,
+    // respawn, and replay, then lands as seq 4.
+    EXPECT_EQ(daemon.submit("user_w", tiny_batch(2, 1496644200), false),
+              Admission::kAccepted);
+    daemon.drain();  // Final snapshot watermark covers seq 4.
+  }
+
+  // Resume replays the same deterministic offer schedule. Because the shed
+  // offer consumed seq 3, the restored watermark is 4 and every re-offer
+  // dedupes. If sheds skipped seqs, the fourth offer would shift past the
+  // watermark and the child would apply it a second time on top of the
+  // snapshot that already holds it.
+  options.fault_plan = sim::ProcessFaultPlan();
+  LocprivService resumed(options, analyzer, run_dir, true);
+  EXPECT_EQ(resumed.restored_seq(0), 4u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(resumed.submit("user_w", tiny_batch(2, 1496641200 + 1000 * i),
+                             true),
+              Admission::kDeduped)
+        << "offer " << i + 1 << " fell out of resume alignment";
+  resumed.drain();
+  const ServiceStats& stats = resumed.stats();
+  EXPECT_EQ(stats.batches_submitted, 0u);  // Nothing re-applied on resume.
+  EXPECT_EQ(stats.batches_dropped, 4u);
+  EXPECT_EQ(stats.batches_shed, 0u);
+}
+
+TEST(ServiceOverload, DropOldestEvictsUntilTheByteCapAdmitsTheBatch) {
+  const auto& analyzer = test_analyzer();
+  auto options = quick_options(1);
+  options.max_inflight_batches = 0;  // Only the byte cap governs admission.
+  options.max_retained_bytes = 600;
+  options.shed_policy = ShedPolicy::kDropOldest;
+  options.fault_plan = sim::ProcessFaultPlan::parse("crash:1@shard0");
+  options.fault_after_batches = 1;
+  // A long respawn backoff keeps the shard down (everything unsent) while
+  // we queue into it.
+  options.backoff_base = std::chrono::milliseconds(400);
+  // Cadence snapshots would truncate retained mid-test; push them out.
+  options.snapshot_interval = std::chrono::milliseconds(60000);
+  LocprivService daemon(options, analyzer, fresh_dir("evict_until_fits"),
+                        false);
+
+  EXPECT_EQ(daemon.submit("user_a", tiny_batch(2, 1496641200), true),
+            Admission::kAccepted);
+  tick_until(daemon, [&] { return daemon.stats().shard_deaths >= 1; });
+
+  // Three small frames (~170 bytes each) sit under the 600-byte cap, then a
+  // large one is admitted at the edge (the one-frame slack every admission
+  // path has).
+  EXPECT_EQ(daemon.submit("user_b", tiny_batch(2, 1496642200), true),
+            Admission::kAccepted);
+  EXPECT_EQ(daemon.submit("user_c", tiny_batch(2, 1496643200), true),
+            Admission::kAccepted);
+  EXPECT_EQ(daemon.submit("user_d", tiny_batch(20, 1496644200), true),
+            Admission::kAccepted);
+  // The next offer finds retained far past the cap. One eviction frees too
+  // few bytes, so drop-oldest must keep evicting — all four unsent batches
+  // go — before the incoming frame fits back under the cap.
+  EXPECT_EQ(daemon.submit("user_e", tiny_batch(2, 1496645200), true),
+            Admission::kAccepted);
+  const ServiceStats& mid = daemon.stats();
+  EXPECT_EQ(mid.shed_drop_oldest, 4u);
+  EXPECT_EQ(mid.batches_shed, 4u);
+  EXPECT_EQ(mid.batches_submitted, 1u);
+  const ShardLoad load = daemon.shard_load(0);
+  EXPECT_EQ(load.retained_batches, 1u);
+  EXPECT_LT(load.retained_bytes, options.max_retained_bytes);
+  daemon.drain();
+
+  const ServiceStats& stats = daemon.stats();
+  EXPECT_EQ(stats.batches_offered,
+            stats.batches_submitted + stats.batches_dropped +
+                stats.batches_shed);
+  EXPECT_EQ(daemon.user_loads().at("user_d").batches_accepted, 0u);
+  EXPECT_EQ(daemon.user_loads().at("user_e").batches_accepted, 1u);
+}
+
 TEST(ServiceOverload, RetainedByteCapForcesEarlySnapshotsAndHolds) {
   const auto& analyzer = test_analyzer();
   auto options = quick_options(1);
