@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdio>
 
+#include "core/harness/fd_guard.hpp"
 #include "util/expect.hpp"
 
 namespace locpriv::harness {
@@ -20,11 +21,9 @@ std::atomic<WriteFault> g_write_fault{WriteFault::kNone};
 /// fsyncs the file at `path` through a fresh descriptor (the ofstream API
 /// exposes no fd). Returns false on open/fsync failure with errno set.
 bool fsync_file(const fs::path& path) {
-  const int fd = ::open(path.c_str(), O_WRONLY);
-  if (fd < 0) return false;
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  return rc == 0;
+  const FdGuard fd(::open(path.c_str(), O_WRONLY));
+  if (!fd.valid()) return false;
+  return ::fsync(fd.get()) == 0;
 }
 
 }  // namespace
@@ -87,11 +86,8 @@ void AtomicFileWriter::commit() {
   // Best effort: persist the directory entry so the new name survives a
   // crash. Failure here is not torn data — the rename already happened.
   const fs::path dir = path_.has_parent_path() ? path_.parent_path() : fs::path(".");
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
+  const FdGuard dfd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
+  if (dfd.valid()) ::fsync(dfd.get());
 }
 
 void write_file_atomic(const fs::path& path, std::string_view content) {

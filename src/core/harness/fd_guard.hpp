@@ -1,0 +1,48 @@
+// RAII owner of one POSIX file descriptor. The lint fd-guard rule flags
+// function-local descriptors that can leak on an early return or a throw;
+// constructing the guard directly from the creator call —
+//   FdGuard fd(::open(path, O_RDONLY));
+// — leaves no window in which the raw int is the only owner.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace locpriv::harness {
+
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { reset(); }
+
+  FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  /// The owned descriptor, or -1.
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Gives up ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+  /// Closes the current descriptor (if any) and adopts `fd`. close(2) is
+  /// deliberately not retried on EINTR: on Linux the descriptor is released
+  /// either way, and a retry could close an unrelated recycled fd.
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace locpriv::harness

@@ -187,26 +187,23 @@ RunLedger::RunLedger(fs::path run_dir, const RunInfo& info) {
   }
 
   errno = 0;
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
-  if (fd_ < 0)
+  fd_.reset(::open(path_.c_str(), O_WRONLY | O_CREAT, 0644));
+  if (!fd_.valid())
     throw Error(ErrorCode::kIo,
                 "cannot open ledger " + path_.string() + errno_detail());
   // Drop any torn tail a crash left behind, then continue appending after
-  // the last intact record.
-  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
-      ::lseek(fd_, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+  // the last intact record. The guard closes the fd on the throw path.
+  if (::ftruncate(fd_.get(), static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd_.get(), static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
     const Error error(ErrorCode::kIo,
                       "cannot truncate ledger " + path_.string() + errno_detail());
-    ::close(fd_);
-    fd_ = -1;
+    fd_.reset();
     throw error;
   }
   if (fresh) append_line(header_line(info));
 }
 
-RunLedger::~RunLedger() {
-  if (fd_ >= 0) ::close(fd_);
-}
+RunLedger::~RunLedger() = default;
 
 void RunLedger::replay(const std::string& content, const RunInfo& info,
                        std::uint64_t& valid_bytes) {
@@ -313,7 +310,7 @@ std::vector<std::string> RunLedger::quarantined_cells() const {
 
 void RunLedger::sync() {
   errno = 0;
-  if (fd_ >= 0 && ::fsync(fd_) != 0)
+  if (fd_.valid() && ::fsync(fd_.get()) != 0)
     throw Error(ErrorCode::kIo,
                 "cannot fsync ledger " + path_.string() + errno_detail());
 }
@@ -327,7 +324,7 @@ void RunLedger::append_line(const std::string& line) {
   while (written < buffer.size()) {
     errno = 0;
     const ssize_t n =
-        ::write(fd_, buffer.data() + written, buffer.size() - written);
+        ::write(fd_.get(), buffer.data() + written, buffer.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw Error(ErrorCode::kIo,
@@ -336,7 +333,7 @@ void RunLedger::append_line(const std::string& line) {
     written += static_cast<std::size_t>(n);
   }
   errno = 0;
-  if (::fsync(fd_) != 0)
+  if (::fsync(fd_.get()) != 0)
     throw Error(ErrorCode::kIo,
                 "cannot fsync ledger " + path_.string() + errno_detail());
 }

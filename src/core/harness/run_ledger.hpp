@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/harness/error.hpp"
+#include "core/harness/fd_guard.hpp"
 
 namespace locpriv::harness {
 
@@ -91,7 +92,7 @@ class RunLedger {
   std::filesystem::path path_;
   std::map<std::string, std::vector<std::string>> cells_;
   std::map<std::string, std::vector<std::string>> quarantine_;
-  int fd_ = -1;
+  FdGuard fd_;
 };
 
 }  // namespace locpriv::harness

@@ -320,7 +320,7 @@ void kill_and_reap(std::vector<ChildProc>& running, int signal) {
   for (ChildProc& child : running) {
     if (child.pid > 0) {
       int status = 0;
-      ::waitpid(child.pid, &status, 0);
+      while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {}
       child.pid = -1;
     }
     close_child_fds(child);
@@ -487,9 +487,11 @@ SupervisorOutcome Supervisor::run_isolated(const std::vector<std::string>& cells
         if (child.term_sent && !child.kill_sent)
           timeout = std::min(timeout, clamp_to_ms(child.kill_at - now));
       }
-      ::poll(fds.empty() ? nullptr : fds.data(),
-             static_cast<nfds_t>(fds.size()),
-             static_cast<int>(std::max<std::int64_t>(timeout.count(), 1)));
+      while (::poll(fds.empty() ? nullptr : fds.data(),
+                    static_cast<nfds_t>(fds.size()),
+                    static_cast<int>(std::max<std::int64_t>(
+                        timeout.count(), 1))) < 0 &&
+             errno == EINTR) {}
 
       for (ChildProc& child : running) {
         if (child.result_fd >= 0 &&

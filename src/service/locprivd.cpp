@@ -225,7 +225,7 @@ LocprivService::~LocprivService() {
     if (shard.pid > 0) {
       ::kill(shard.pid, SIGKILL);
       int status = 0;
-      ::waitpid(shard.pid, &status, 0);
+      while (::waitpid(shard.pid, &status, 0) < 0 && errno == EINTR) {}
       shard.pid = -1;
     }
     close_fd(shard.cmd_fd);
@@ -605,8 +605,12 @@ void LocprivService::pump(std::chrono::milliseconds timeout) {
     }
   }
   if (!fds.empty()) {
-    const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                         static_cast<int>(timeout.count()));
+    int n = 0;
+    for (;;) {
+      n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 static_cast<int>(timeout.count()));
+      if (n >= 0 || errno != EINTR) break;
+    }
     if (n > 0) {
       for (std::size_t i = 0; i < fds.size(); ++i) {
         if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
@@ -636,8 +640,10 @@ void LocprivService::pump(std::chrono::milliseconds timeout) {
     }
   } else if (timeout.count() > 0) {
     // Nothing to watch (all shards dead or quarantined): honour the budget
-    // so respawn backoff timers still make progress without spinning.
-    ::poll(nullptr, 0, static_cast<int>(timeout.count()));
+    // so respawn backoff timers still make progress without spinning. The
+    // budget is <= 20ms, so finishing the sleep after EINTR is harmless.
+    while (::poll(nullptr, 0, static_cast<int>(timeout.count())) < 0 &&
+           errno == EINTR) {}
   }
 
   // 3. Reap exits.
@@ -803,7 +809,7 @@ void LocprivService::quarantine(Shard& shard, std::string reason) {
   if (shard.pid > 0) {
     ::kill(shard.pid, SIGKILL);
     int status = 0;
-    ::waitpid(shard.pid, &status, 0);
+    while (::waitpid(shard.pid, &status, 0) < 0 && errno == EINTR) {}
     shard.pid = -1;
   }
   close_fd(shard.cmd_fd);

@@ -1,0 +1,15 @@
+// Violation: fsync(2) while the stats mutex is held — every other thread
+// waiting on the mutex stalls behind the disk.
+#include <unistd.h>
+
+#include "util/sync.hpp"
+
+struct Stats {
+  locpriv::util::Mutex mu;
+  int fd = -1;
+
+  void flush() {
+    locpriv::util::MutexLock lock(mu);
+    ::fsync(fd);
+  }
+};

@@ -1,0 +1,21 @@
+// Clean twin: snapshot the state under the lock, do the blocking work after
+// the lock's scope closes.
+#include <unistd.h>
+
+#include "util/sync.hpp"
+
+struct Stats {
+  locpriv::util::Mutex mu;
+  int fd = -1;
+  int epoch = 0;
+
+  void flush() {
+    int snapshot_fd = -1;
+    {
+      locpriv::util::MutexLock lock(mu);
+      snapshot_fd = fd;
+      ++epoch;
+    }
+    ::fsync(snapshot_fd);
+  }
+};

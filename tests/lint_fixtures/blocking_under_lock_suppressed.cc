@@ -1,0 +1,16 @@
+// Justified suppression: a startup-only preload path that runs before any
+// other thread exists, so the lock is provably uncontended.
+#include <unistd.h>
+
+#include "util/sync.hpp"
+
+struct Boot {
+  locpriv::util::Mutex mu;
+  int fd = -1;
+
+  void preload() {
+    locpriv::util::MutexLock lock(mu);
+    // locpriv-lint: allow(blocking-under-lock) single-threaded startup
+    ::fsync(fd);
+  }
+};

@@ -1,0 +1,7 @@
+// Violation: the read result is never re-checked on EINTR — a stray signal
+// (profiler tick, SIGCHLD) surfaces as a spurious short read.
+#include <unistd.h>
+
+long drain(int fd, char* buf, unsigned long n) {
+  return ::read(fd, buf, n);
+}

@@ -1,0 +1,12 @@
+// Clean twin: the do-while retry condition mentions EINTR, so the rule sees
+// the call inside a retrying loop extent (header through trailing cond).
+#include <cerrno>
+#include <unistd.h>
+
+long drain(int fd, char* buf, unsigned long n) {
+  long got = 0;
+  do {
+    got = ::read(fd, buf, n);
+  } while (got < 0 && errno == EINTR);
+  return got;
+}

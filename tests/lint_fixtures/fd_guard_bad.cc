@@ -1,0 +1,9 @@
+// Violation: the descriptor leaks — no close on the success path (and an
+// fcntl borrower does not take ownership).
+#include <fcntl.h>
+
+bool probe(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return false;
+  return ::fcntl(fd, F_GETFD) >= 0;
+}

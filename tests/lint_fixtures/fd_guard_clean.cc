@@ -1,0 +1,24 @@
+// Clean twins: closed locally, ownership returned to the caller, and bound
+// straight into an RAII guard (no raw binding for the rule to track).
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "core/harness/fd_guard.hpp"
+
+bool probe(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fcntl(fd, F_GETFD) >= 0;
+  ::close(fd);
+  return ok;
+}
+
+int open_for_caller(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  return fd;
+}
+
+bool guarded(const char* path) {
+  const locpriv::harness::FdGuard fd(::open(path, O_RDONLY));
+  return fd.valid();
+}

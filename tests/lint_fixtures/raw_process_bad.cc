@@ -1,9 +1,11 @@
 // Violation: reaps a child directly instead of letting the harness
-// supervisor own the process lifecycle.
+// supervisor own the process lifecycle. (The EINTR retry loop is correct —
+// only the raw-process rule fires.)
+#include <cerrno>
 #include <sys/wait.h>
 
 int reap(int pid) {
   int status = 0;
-  ::waitpid(pid, &status, 0);
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
   return status;
 }

@@ -1,0 +1,11 @@
+// Violation: a 32-bit view of a 64-bit wire counter — silently wraps after
+// 4Gi events. Only meaningful under src/service/ (the rule is path-gated).
+#include <cstdint>
+
+struct Shard {
+  std::uint64_t submit_seq = 0;
+};
+
+std::uint32_t checkpoint(const Shard& shard) {
+  return static_cast<std::uint32_t>(shard.submit_seq);
+}

@@ -1,0 +1,11 @@
+// Justified suppression: a mock wire that is 16-bit by design (test-only).
+#include <cstdint>
+
+struct Shard {
+  std::uint64_t submit_seq = 0;
+};
+
+std::uint16_t mock_wire_value(const Shard& shard) {
+  // locpriv-lint: allow(seq-narrowing) mock wire is 16-bit by design
+  return static_cast<std::uint16_t>(shard.submit_seq);
+}

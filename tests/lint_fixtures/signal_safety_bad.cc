@@ -1,0 +1,19 @@
+// Violation: the handler reaches note_shutdown(), which calls printf —
+// allocation and stdio are not async-signal-safe.
+#include <csignal>
+#include <cstdio>
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void note_shutdown() { std::printf("shutting down\n"); }
+
+void on_signal(int) {
+  g_stop = 1;
+  note_shutdown();
+}
+
+}  // namespace
+
+void install() { std::signal(SIGTERM, &on_signal); }

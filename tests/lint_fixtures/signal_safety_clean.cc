@@ -1,0 +1,12 @@
+// Clean twin: the handler only touches a sig_atomic_t flag.
+#include <csignal>
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+void install() { std::signal(SIGTERM, &on_signal); }

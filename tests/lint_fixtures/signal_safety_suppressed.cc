@@ -1,0 +1,14 @@
+// Justified suppression: a crash handler making a best-effort stderr note
+// before re-raising with the default disposition — the process dies either
+// way, so the async-signal-safety risk is accepted.
+#include <csignal>
+#include <cstdio>
+
+void on_fatal(int sig) {
+  // locpriv-lint: allow(signal-safety) crash path; best-effort diagnostics
+  std::fprintf(stderr, "fatal signal\n");
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install() { std::signal(SIGSEGV, &on_fatal); }

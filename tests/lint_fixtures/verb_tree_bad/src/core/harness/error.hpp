@@ -1,0 +1,8 @@
+// Mini-tree fixture: kIo = 3 is missing from the README exit-code table.
+#pragma once
+
+enum class ErrorCode {
+  kInternal = 1,
+  kUsage = 2,
+  kIo = 3,
+};

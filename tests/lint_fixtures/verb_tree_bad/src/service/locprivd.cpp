@@ -1,0 +1,11 @@
+// Mini-tree fixture: the response side is complete (the failures live in
+// the command set, the ledger, and the exit-code table).
+#include <string>
+
+#include "service/wire.hpp"
+
+bool dispatch(const std::string& verb) {
+  if (verb == wire::kRspPong) return true;
+  if (verb == wire::kRspAck) return true;
+  return false;
+}

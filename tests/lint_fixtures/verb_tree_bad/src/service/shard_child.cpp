@@ -1,0 +1,10 @@
+// Mini-tree fixture: decodes ping and submit but NOT snapshot.
+#include <string>
+
+#include "service/wire.hpp"
+
+bool decode(const std::string& verb) {
+  if (verb == wire::kCmdPing) return true;
+  if (verb == wire::kCmdSubmit) return true;
+  return false;
+}

@@ -1,0 +1,11 @@
+// Mini-tree fixture: kCmdSnapshot has no decoder in shard_child.cpp, so
+// verb-exhaustive must flag it here.
+#pragma once
+
+namespace wire {
+inline constexpr const char* kCmdPing = "ping";
+inline constexpr const char* kCmdSubmit = "submit";
+inline constexpr const char* kCmdSnapshot = "snapshot";
+inline constexpr const char* kRspPong = "pong";
+inline constexpr const char* kRspAck = "ack";
+}  // namespace wire

@@ -1,0 +1,16 @@
+// Mini-tree fixture: the one record kind written is also parsed back.
+#include <string>
+#include <vector>
+
+std::string keyed_fields_line(const char* kind,
+                              const std::vector<std::string>& fields);
+void append_line(const std::string& line);
+void parse_cell(const std::string& line);
+
+void snapshot(const std::vector<std::string>& fields) {
+  append_line(keyed_fields_line("cell", fields));
+}
+
+void replay(const std::string& line) {
+  if (line.rfind("{\"cell\":", 0) == 0) parse_cell(line);
+}

@@ -1,0 +1,10 @@
+// Mini-tree fixture: the parent side dispatches every response verb.
+#include <string>
+
+#include "service/wire.hpp"
+
+bool dispatch(const std::string& verb) {
+  if (verb == wire::kRspPong) return true;
+  if (verb == wire::kRspAck) return true;
+  return false;
+}

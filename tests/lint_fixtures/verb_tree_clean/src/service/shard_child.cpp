@@ -1,0 +1,10 @@
+// Mini-tree fixture: the shard side decodes every command verb.
+#include <string>
+
+#include "service/wire.hpp"
+
+bool decode(const std::string& verb) {
+  if (verb == wire::kCmdPing) return true;
+  if (verb == wire::kCmdSubmit) return true;
+  return false;
+}

@@ -1,0 +1,10 @@
+// Mini-tree fixture: a wire protocol where every verb has its peer-side
+// handler (verb-exhaustive stays quiet).
+#pragma once
+
+namespace wire {
+inline constexpr const char* kCmdPing = "ping";
+inline constexpr const char* kCmdSubmit = "submit";
+inline constexpr const char* kRspPong = "pong";
+inline constexpr const char* kRspAck = "ack";
+}  // namespace wire

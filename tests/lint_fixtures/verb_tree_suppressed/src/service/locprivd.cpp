@@ -1,0 +1,9 @@
+// Mini-tree fixture: dispatches the one response verb.
+#include <string>
+
+#include "service/wire.hpp"
+
+bool dispatch(const std::string& verb) {
+  if (verb == wire::kRspPong) return true;
+  return false;
+}

@@ -1,0 +1,10 @@
+// Mini-tree fixture: decodes ping only (snapshot is suppressed at the
+// declaration in wire.hpp).
+#include <string>
+
+#include "service/wire.hpp"
+
+bool decode(const std::string& verb) {
+  if (verb == wire::kCmdPing) return true;
+  return false;
+}

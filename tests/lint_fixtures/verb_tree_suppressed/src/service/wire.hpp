@@ -1,0 +1,10 @@
+// Mini-tree fixture: the snapshot verb ships one PR ahead of its decoder;
+// the justified allow keeps the tree scan green until the decoder lands.
+#pragma once
+
+namespace wire {
+inline constexpr const char* kCmdPing = "ping";
+// locpriv-lint: allow(verb-exhaustive) decoder lands with the next rev
+inline constexpr const char* kCmdSnapshot = "snapshot";
+inline constexpr const char* kRspPong = "pong";
+}  // namespace wire

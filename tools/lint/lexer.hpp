@@ -1,0 +1,61 @@
+// Layer 1 of locpriv-lint v2: a line-attributed C++ tokenizer.
+//
+// The v1 scanner only blanked comments and literals and ran regexes over the
+// remaining text; flow rules (EINTR retry loops, fd ownership, signal-handler
+// reachability) need to know *which* identifier is a call, where a brace
+// scope opens, and which line a token sits on. lex() produces:
+//
+//   - a token stream (identifiers, numbers, string/char literals incl. raw
+//     strings, punctuation, whole preprocessor directives) where every token
+//     carries the 1-based physical line it starts on, and
+//   - the same comment/literal-blanked `code` and comment-only `comments`
+//     buffers the v1 scanner produced, with line structure preserved, so the
+//     v1 regex rules and the lint suppression-comment contract (see lint.hpp)
+//     keep byte-identical behaviour.
+//
+// Deliberate shapes:
+//   - Keywords lex as identifiers; rule layers treat `new`/`throw` by name.
+//   - A preprocessor directive (including backslash-continued lines) becomes
+//     ONE kPreproc token, so code stringified inside a macro body cannot
+//     masquerade as live identifiers for the flow rules.
+//   - String tokens keep their (raw, unescaped) source content in `text`;
+//     the blanked `code` view still hides it from the regex rules.
+//   - `::` and `->` are single punctuation tokens: qualification is
+//     structural information the call-site layer depends on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locpriv::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kString,     // "..." (text = raw content between the quotes)
+  kRawString,  // R"delim(...)delim" (text = raw content)
+  kChar,       // '...'
+  kPunct,      // one operator; `::` `->` `<<` `>>` stay fused
+  kPreproc,    // a whole preprocessor directive, continuations joined
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based line where the token starts.
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::string code;      // comment and literal contents blanked, lines kept.
+  std::string comments;  // only comment text, lines kept.
+};
+
+/// Tokenizes one translation unit. Never throws on malformed input: an
+/// unterminated literal or comment simply ends at EOF (the goal is lint
+/// robustness, not diagnostics).
+LexedSource lex(std::string_view text);
+
+}  // namespace locpriv::lint

@@ -4,10 +4,15 @@
 //   locpriv_lint --root <repo>              # scan src bench tools examples tests
 //   locpriv_lint file.cpp dir/              # scan explicit paths instead
 //   locpriv_lint --format github            # emit ::error workflow commands
-//   locpriv_lint --list-rules
+//   locpriv_lint --format json              # one machine-readable document
+//   locpriv_lint --list-rules               # rule registry (honours --format json)
+//   locpriv_lint --jobs 4 --verbose         # cap analysis threads, time the scan
 //
+// Tree scans run the cross-file rules (signal-safety, verb-exhaustive) over
+// the whole collection; explicit-path mode lints each file in isolation.
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <iterator>
@@ -42,7 +47,9 @@ int main(int argc, char** argv) {
   locpriv::util::Args args;
   args.declare("--root", ".");
   args.declare("--format", "text");
+  args.declare("--jobs", "0");
   args.declare_bool("--list-rules");
+  args.declare_bool("--verbose");
   try {
     args.parse(argc, argv);
   } catch (const std::exception& error) {
@@ -50,24 +57,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string format = args.get("--format");
+  if (format != "text" && format != "github" && format != "json") {
+    std::cerr << "locpriv-lint: unknown --format '" << format
+              << "' (expected text, github, or json)\n";
+    return 2;
+  }
+
   if (args.get_bool("--list-rules")) {
-    for (const auto& rule : locpriv::lint::rules())
-      std::cout << rule.name << "\n    " << rule.summary << "\n";
+    if (format == "json") {
+      std::cout << locpriv::lint::rules_json() << '\n';
+    } else {
+      for (const auto& rule : locpriv::lint::rules())
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+    }
     return 0;
   }
 
-  const std::string format = args.get("--format");
-  if (format != "text" && format != "github") {
-    std::cerr << "locpriv-lint: unknown --format '" << format
-              << "' (expected text or github)\n";
+  const long long jobs = args.get_int("--jobs");
+  if (jobs < 0) {
+    std::cerr << "locpriv-lint: --jobs must be >= 0\n";
     return 2;
   }
 
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
+  const auto start = std::chrono::steady_clock::now();
   try {
     if (args.positional().empty()) {
-      findings = locpriv::lint::lint_tree(args.get("--root"), &files_scanned);
+      findings = locpriv::lint::lint_tree(args.get("--root"), &files_scanned,
+                                          static_cast<unsigned>(jobs));
     } else {
       std::vector<fs::path> files;
       for (const std::string& path : args.positional()) collect_path(path, &files);
@@ -84,12 +103,25 @@ int main(int argc, char** argv) {
     std::cerr << error.what() << '\n';
     return 2;
   }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::duration<double>>(
+      std::chrono::steady_clock::now() - start);
 
-  for (const Finding& finding : findings)
-    std::cout << (format == "github" ? locpriv::lint::format_github(finding)
-                                     : locpriv::lint::format_text(finding))
-              << '\n';
+  if (format == "json") {
+    std::cout << locpriv::lint::format_json(findings, files_scanned) << '\n';
+  } else {
+    for (const Finding& finding : findings)
+      std::cout << (format == "github" ? locpriv::lint::format_github(finding)
+                                       : locpriv::lint::format_text(finding))
+                << '\n';
+  }
   std::cerr << "locpriv-lint: " << findings.size() << " finding(s) in "
             << files_scanned << " file(s)\n";
+  if (args.get_bool("--verbose")) {
+    const double seconds = elapsed.count();
+    const double rate = seconds > 0.0 ? static_cast<double>(files_scanned) / seconds
+                                      : 0.0;
+    std::cerr << "locpriv-lint: scanned in " << seconds << " s ("
+              << static_cast<long>(rate) << " files/s)\n";
+  }
   return findings.empty() ? 0 : 1;
 }
