@@ -1,0 +1,54 @@
+#include "geo/geodensity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "geo/geodesy.hpp"
+
+namespace locpriv::geo {
+
+namespace {
+
+// Approximate area of a level-`level` cell at the given latitude. The cosine
+// is floored so polar cells keep a nonzero area — a crude density there only
+// shrinks the first-guess radius, which the k-NN doubling loop repairs.
+double cell_area_m2(int level, double lat_deg) {
+  const double cells = static_cast<double>(1ull << level);
+  const double lat_height_m = std::numbers::pi * kEarthRadiusMeters / cells;
+  const double cos_lat = std::max(1e-3, std::cos(deg_to_rad(lat_deg)));
+  const double lon_width_m = 2.0 * std::numbers::pi * kEarthRadiusMeters * cos_lat / cells;
+  return lat_height_m * lon_width_m;
+}
+
+}  // namespace
+
+DensityEstimator::Probe DensityEstimator::probe(const LatLon& center,
+                                                std::size_t min_count) const {
+  Probe result;
+  result.level = 0;
+  result.count = tree_->size();
+  const std::uint64_t code = geohash_encode(center);
+  if (result.count >= min_count) {
+    for (int level = 1; level <= kGeohashMaxLevel; ++level) {
+      const std::size_t count = tree_->cell_count(geohash_prefix(code, level), level);
+      if (count < min_count) break;
+      result.level = level;
+      result.count = count;
+    }
+  }
+  result.density_per_m2 =
+      static_cast<double>(result.count) / cell_area_m2(result.level, center.lat_deg);
+  return result;
+}
+
+double DensityEstimator::adaptive_radius(const LatLon& center, std::size_t k) const {
+  if (k == 0 || tree_->empty()) return kMinRadiusM;
+  const Probe local = probe(center, k);
+  if (local.count == 0 || local.density_per_m2 <= 0.0) return kMaxRadiusM;
+  const double radius = std::sqrt(static_cast<double>(k) /
+                                  (std::numbers::pi * local.density_per_m2));
+  return std::clamp(radius, kMinRadiusM, kMaxRadiusM);
+}
+
+}  // namespace locpriv::geo

@@ -1,0 +1,47 @@
+// Density-adaptive radius estimation over a GeoTree.
+//
+// A fixed first-guess radius makes k-NN degenerate: in a dense urban cell it
+// sweeps in thousands of candidates for k = 10, in a sparse rural cell it
+// comes back empty and forces many doubling rounds. DensityEstimator probes
+// the tree's cell counts down the geohash levels around the query point —
+// O(level) binary searches, memoised by the tree's LRU count cache — to read
+// off the local point density and size the first disc to ~k expected points,
+// so both regimes stay O(log n + k).
+#pragma once
+
+#include <cstddef>
+
+#include "geo/geotree.hpp"
+#include "geo/latlon.hpp"
+
+namespace locpriv::geo {
+
+class DensityEstimator {
+ public:
+  /// Result of a level descent around a query point.
+  struct Probe {
+    int level = 0;              ///< finest level whose cell still held min_count
+    std::size_t count = 0;      ///< points in that cell
+    double density_per_m2 = 0;  ///< count / cell area at the probe latitude
+  };
+
+  /// Borrows `tree`; the tree must outlive the estimator.
+  explicit DensityEstimator(const GeoTree& tree) : tree_(&tree) {}
+
+  /// Descends from the root toward `center`, stopping at the last level whose
+  /// containing cell still holds at least `min_count` points.
+  Probe probe(const LatLon& center, std::size_t min_count) const;
+
+  /// Radius of a disc expected to contain ~k points at the local density
+  /// (r = sqrt(k / (pi * density))), clamped to [kMinRadiusM, kMaxRadiusM].
+  /// A k-NN caller treats this as a first guess and doubles on shortfall.
+  double adaptive_radius(const LatLon& center, std::size_t k) const;
+
+  static constexpr double kMinRadiusM = 1.0;
+  static constexpr double kMaxRadiusM = 2.1e7;  // > half the earth's circumference
+
+ private:
+  const GeoTree* tree_;
+};
+
+}  // namespace locpriv::geo

@@ -24,8 +24,16 @@ struct Poi {
 };
 
 /// Clusters `stays` (chronological) into PoIs. merge_radius_m > 0.
+/// Assignment runs through a geohash cell index over the PoI centroids
+/// (O(S log P)); results are identical to cluster_stay_points_scan.
 std::vector<Poi> cluster_stay_points(const std::vector<StayPoint>& stays,
                                      double merge_radius_m);
+
+/// The original O(S x P) linear-scan clustering, kept as the equivalence
+/// oracle for cluster_stay_points (tests assert identical output) and as the
+/// "before" side of the BM_PoiAssignment microbench.
+std::vector<Poi> cluster_stay_points_scan(const std::vector<StayPoint>& stays,
+                                          double merge_radius_m);
 
 /// PoIs visited at most `max_visits` times — the paper's sensitive PoIs
 /// ("users have visited for no more than 3 times", §IV.C).

@@ -114,6 +114,7 @@ TrackingStats time_to_confusion(const std::vector<trace::TracePoint>& points,
         broken = true;
       } else if (gap > 0) {
         const double speed =
+            // locpriv-lint: allow(linear-spatial-scan) one pair-speed per fix
             geo::haversine_m(points[i - 1].position, points[i].position) /
             static_cast<double>(gap);
         broken = speed > max_speed_mps;

@@ -8,20 +8,81 @@
 
 namespace locpriv::privacy {
 
+namespace {
+
+std::vector<geo::LatLon> fix_positions(const std::vector<trace::TracePoint>& fixes) {
+  std::vector<geo::LatLon> positions;
+  positions.reserve(fixes.size());
+  for (const auto& fix : fixes) positions.push_back(fix.position);
+  return positions;
+}
+
+}  // namespace
+
 PositionEstimator::PositionEstimator(std::vector<trace::TracePoint> collected)
-    : collected_(std::move(collected)) {
+    : collected_(std::move(collected)), index_(fix_positions(collected_)) {
   LOCPRIV_EXPECT(!collected_.empty());
   for (std::size_t i = 1; i < collected_.size(); ++i)
     LOCPRIV_EXPECT(collected_[i - 1].timestamp_s <= collected_[i].timestamp_s);
 }
 
-const geo::LatLon& PositionEstimator::estimate(std::int64_t t) const {
-  // Last fix with timestamp <= t; the first fix for earlier queries.
+std::size_t PositionEstimator::locate(std::int64_t t) const {
   const auto it = std::upper_bound(
       collected_.begin(), collected_.end(), t,
       [](std::int64_t value, const trace::TracePoint& p) { return value < p.timestamp_s; });
-  if (it == collected_.begin()) return collected_.front().position;
-  return (it - 1)->position;
+  if (it == collected_.begin()) return 0;
+  return static_cast<std::size_t>(it - collected_.begin()) - 1;
+}
+
+const geo::LatLon& PositionEstimator::estimate(std::int64_t t) const {
+  return collected_[locate(t)].position;
+}
+
+std::vector<std::uint32_t> PositionEstimator::fixes_near(const geo::LatLon& center,
+                                                         double radius_m) const {
+  const auto hits = index_.query_radius(center, radius_m);
+  std::vector<std::uint32_t> indices;
+  indices.reserve(hits.size());
+  for (const auto& hit : hits) indices.push_back(hit.index);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+std::vector<std::uint32_t> PositionEstimator::fixes_near_scan(const geo::LatLon& center,
+                                                              double radius_m) const {
+  LOCPRIV_EXPECT(radius_m >= 0.0);
+  std::vector<std::uint32_t> indices;
+  for (std::size_t i = 0; i < collected_.size(); ++i) {
+    // locpriv-lint: allow(linear-spatial-scan) reference oracle for fixes_near
+    if (geo::haversine_m(center, collected_[i].position) <= radius_m)
+      indices.push_back(static_cast<std::uint32_t>(i));
+  }
+  return indices;
+}
+
+std::vector<RecoveredVisit> PositionEstimator::recovered_visits(
+    const geo::LatLon& center, double radius_m, std::int64_t max_gap_s,
+    std::int64_t min_dwell_s) const {
+  LOCPRIV_EXPECT(max_gap_s > 0);
+  LOCPRIV_EXPECT(min_dwell_s >= 0);
+  const auto near = fixes_near(center, radius_m);
+  std::vector<RecoveredVisit> visits;
+  RecoveredVisit current;
+  for (std::size_t i = 0; i < near.size(); ++i) {
+    const auto& point = collected_[near[i]];
+    if (current.fix_count > 0 && point.timestamp_s - current.exit_s <= max_gap_s) {
+      current.last_fix = near[i];
+      current.exit_s = point.timestamp_s;
+      ++current.fix_count;
+      continue;
+    }
+    if (current.fix_count > 0 && current.dwell_s() >= min_dwell_s)
+      visits.push_back(current);
+    current = {near[i], near[i], point.timestamp_s, point.timestamp_s, 1};
+  }
+  if (current.fix_count > 0 && current.dwell_s() >= min_dwell_s)
+    visits.push_back(current);
+  return visits;
 }
 
 ReconstructionError reconstruction_error(const std::vector<trace::TracePoint>& truth,
@@ -34,6 +95,7 @@ ReconstructionError reconstruction_error(const std::vector<trace::TracePoint>& t
   for (const auto& point : truth) {
     if (point.timestamp_s < next_sample) continue;
     errors.push_back(
+        // locpriv-lint: allow(linear-spatial-scan) one truth-estimate pair
         geo::haversine_m(point.position, estimator.estimate(point.timestamp_s)));
     next_sample = point.timestamp_s + sample_every_s;
   }

@@ -4,30 +4,76 @@
 // reconstructs a position timeline from the collected fixes (piecewise:
 // the user is at the last observed fix until the next one) and we measure
 // the distance between that estimate and the ground-truth trace.
+//
+// The estimator also answers the adversary's spatial queries: "which of the
+// collected fixes place the user near this location, and when?" Those used
+// to rescan the full fix stream per place; they now go through a GeoTree
+// over the fix positions, so a candidate lookup touches only the geohash
+// cells a radius disc can reach.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "geo/geotree.hpp"
 #include "geo/latlon.hpp"
 #include "trace/trajectory.hpp"
 
 namespace locpriv::privacy {
 
+/// One contiguous episode of collected fixes near a queried place: the
+/// adversary's evidence that the user *visited* it, with dwell bounds.
+struct RecoveredVisit {
+  std::size_t first_fix = 0;  ///< Index of the first in-radius fix.
+  std::size_t last_fix = 0;   ///< Index of the last in-radius fix.
+  std::int64_t enter_s = 0;   ///< Timestamp of the first fix.
+  std::int64_t exit_s = 0;    ///< Timestamp of the last fix.
+  std::size_t fix_count = 0;  ///< In-radius fixes inside the episode.
+
+  std::int64_t dwell_s() const { return exit_s - enter_s; }
+
+  friend bool operator==(const RecoveredVisit&, const RecoveredVisit&) = default;
+};
+
 /// Piecewise-constant position estimator over a collected fix stream.
 class PositionEstimator {
  public:
-  /// Builds from collected fixes (time-ordered). Precondition: non-empty.
+  /// Builds from collected fixes (time-ordered) and indexes their positions.
+  /// Precondition: non-empty.
   explicit PositionEstimator(std::vector<trace::TracePoint> collected);
 
-  /// The adversary's estimate at time `t`: the last fix at or before `t`
-  /// (the first fix for queries before any observation).
+  /// Index of the last fix at or before `t` (std::upper_bound over the
+  /// time-sorted stream); 0 for queries before the first fix.
+  std::size_t locate(std::int64_t t) const;
+
+  /// The adversary's estimate at time `t`: the position of locate(t).
   const geo::LatLon& estimate(std::int64_t t) const;
 
+  const trace::TracePoint& fix(std::size_t i) const { return collected_[i]; }
   std::size_t fix_count() const { return collected_.size(); }
+
+  /// Indices (ascending, hence chronological) of the fixes within
+  /// `radius_m` of `center` (haversine, inclusive), resolved by cell lookup
+  /// in the fix index. Precondition: radius_m >= 0.
+  std::vector<std::uint32_t> fixes_near(const geo::LatLon& center,
+                                        double radius_m) const;
+
+  /// The O(n) full-stream twin of fixes_near, kept as its equivalence oracle
+  /// and as the "before" side of the BM_ReconstructionCandidates microbench.
+  std::vector<std::uint32_t> fixes_near_scan(const geo::LatLon& center,
+                                             double radius_m) const;
+
+  /// Groups the fixes near `center` into visit episodes: a new episode
+  /// starts whenever consecutive in-radius fixes are more than `max_gap_s`
+  /// apart, and only episodes dwelling at least `min_dwell_s` count.
+  /// Preconditions: radius_m >= 0, max_gap_s > 0, min_dwell_s >= 0.
+  std::vector<RecoveredVisit> recovered_visits(const geo::LatLon& center,
+                                               double radius_m, std::int64_t max_gap_s,
+                                               std::int64_t min_dwell_s) const;
 
  private:
   std::vector<trace::TracePoint> collected_;
+  geo::GeoTree index_;  ///< Over the fix positions, in stream order.
 };
 
 /// Summary of the reconstruction error over a ground-truth trace.

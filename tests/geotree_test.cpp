@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geo/geodensity.hpp"
+#include "geo/geodesy.hpp"
+#include "geo/geotree.hpp"
+#include "geo/latlon.hpp"
+#include "stats/rng.hpp"
+
+namespace locpriv::geo {
+namespace {
+
+const LatLon kBeijing{39.9042, 116.4074};
+
+std::vector<LatLon> scatter(std::size_t n, const LatLon& center, double spread_deg,
+                            std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<LatLon> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({center.lat_deg + rng.uniform(-spread_deg, spread_deg),
+                      center.lon_deg + rng.uniform(-spread_deg, spread_deg)});
+  }
+  return points;
+}
+
+// locpriv-lint: allow(linear-spatial-scan) brute-force oracle for index tests
+std::vector<GeoTree::Hit> oracle_radius(const std::vector<LatLon>& points,
+                                        const LatLon& center, double radius_m,
+                                        GeoTree::Metric metric) {
+  std::vector<GeoTree::Hit> hits;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = metric == GeoTree::Metric::kHaversine
+                         ? haversine_m(center, points[i])
+                         : equirectangular_m(center, points[i]);
+    if (d <= radius_m) hits.push_back({static_cast<std::uint32_t>(i), d});
+  }
+  std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.distance_m != b.distance_m ? a.distance_m < b.distance_m
+                                        : a.index < b.index;
+  });
+  return hits;
+}
+
+TEST(GeohashEncoding, PrefixNestsAndCenterRoundTrips) {
+  const std::uint64_t code = geohash_encode(kBeijing);
+  for (int level = 0; level <= kGeohashMaxLevel; ++level) {
+    const std::uint64_t prefix = geohash_prefix(code, level);
+    EXPECT_LT(prefix, 1ull << (2 * level));
+    // A cell's center must re-encode into the same cell.
+    EXPECT_EQ(geohash_prefix(geohash_encode(geohash_cell_center(prefix, level)), level),
+              prefix);
+    // Child cells refine their parent.
+    if (level > 0) {
+      EXPECT_EQ(prefix >> 2, geohash_prefix(code, level - 1));
+    }
+  }
+}
+
+TEST(GeohashEncoding, AxisExtremesStayInRange) {
+  for (const LatLon& p : {LatLon{90.0, 180.0}, LatLon{-90.0, -180.0}, LatLon{0.0, 0.0},
+                          LatLon{89.9999, -180.0}, LatLon{-90.0, 179.9999}}) {
+    const std::uint64_t code = geohash_encode(p);
+    EXPECT_LT(code, 1ull << (2 * kGeohashMaxLevel));
+    const LatLon center = geohash_cell_center(code, kGeohashMaxLevel);
+    EXPECT_NEAR(center.lat_deg, p.lat_deg, 180.0 / (1 << 26) * 2);
+    EXPECT_NEAR(center.lon_deg, p.lon_deg, 360.0 / (1 << 26) * 2);
+  }
+}
+
+TEST(GeoTree, CellRangeCountsEveryPointExactlyOnce) {
+  const auto points = scatter(500, kBeijing, 0.5, 41);
+  const GeoTree tree(points);
+  for (int level : {0, 3, 8, 14}) {
+    std::size_t total = 0;
+    for (std::uint64_t prefix = 0; prefix < (1ull << (2 * level)); ++prefix) {
+      if (level >= 8) break;  // full sweeps only at coarse levels
+      total += tree.cell_count(prefix, level);
+    }
+    if (level < 8) {
+      EXPECT_EQ(total, points.size()) << "level " << level;
+    }
+  }
+  // At any level, each point is inside the cell its own code names.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t prefix = geohash_prefix(geohash_encode(points[i]), 14);
+    const auto ids = tree.cell_indices(prefix, 14);
+    EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), i));
+  }
+}
+
+TEST(GeoTree, RadiusQueryMatchesOracleBothMetrics) {
+  const auto points = scatter(800, kBeijing, 0.3, 42);
+  const GeoTree tree(points);
+  stats::Rng rng(43);
+  for (int q = 0; q < 50; ++q) {
+    const LatLon center{kBeijing.lat_deg + rng.uniform(-0.3, 0.3),
+                        kBeijing.lon_deg + rng.uniform(-0.3, 0.3)};
+    const double radius = rng.uniform(50.0, 20000.0);
+    for (auto metric : {GeoTree::Metric::kHaversine, GeoTree::Metric::kEquirectangular}) {
+      EXPECT_EQ(tree.query_radius(center, radius, metric),
+                oracle_radius(points, center, radius, metric));
+    }
+  }
+}
+
+TEST(GeoTree, AnyWithinAgreesWithRadiusQuery) {
+  const auto points = scatter(200, kBeijing, 0.1, 44);
+  const GeoTree tree(points);
+  stats::Rng rng(45);
+  for (int q = 0; q < 50; ++q) {
+    const LatLon center{kBeijing.lat_deg + rng.uniform(-0.12, 0.12),
+                        kBeijing.lon_deg + rng.uniform(-0.12, 0.12)};
+    const double radius = rng.uniform(10.0, 5000.0);
+    for (auto metric : {GeoTree::Metric::kHaversine, GeoTree::Metric::kEquirectangular}) {
+      EXPECT_EQ(tree.any_within(center, radius, metric),
+                !tree.query_radius(center, radius, metric).empty());
+    }
+  }
+}
+
+TEST(GeoTree, KnnMatchesOracleAndSortsByDistance) {
+  const auto points = scatter(600, kBeijing, 0.4, 46);
+  const GeoTree tree(points);
+  stats::Rng rng(47);
+  for (int q = 0; q < 25; ++q) {
+    const LatLon center{kBeijing.lat_deg + rng.uniform(-0.4, 0.4),
+                        kBeijing.lon_deg + rng.uniform(-0.4, 0.4)};
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    auto expected = oracle_radius(points, center, 1e9, GeoTree::Metric::kHaversine);
+    expected.resize(std::min(k, expected.size()));
+    EXPECT_EQ(tree.query_knn(center, k), expected);
+  }
+  EXPECT_TRUE(tree.query_knn(kBeijing, 0).empty());
+  EXPECT_EQ(tree.query_knn(kBeijing, points.size() + 10).size(), points.size());
+}
+
+TEST(GeoTree, DeterministicAcrossRebuilds) {
+  const auto points = scatter(300, kBeijing, 0.2, 48);
+  const GeoTree a(points);
+  const GeoTree b(points);
+  const auto hits_a = a.query_radius(kBeijing, 15000.0);
+  EXPECT_EQ(hits_a, b.query_radius(kBeijing, 15000.0));
+  // Duplicate coordinates tie-break by ascending original index.
+  std::vector<LatLon> dupes(8, kBeijing);
+  const GeoTree d(dupes);
+  const auto hits = d.query_radius(kBeijing, 1.0);
+  ASSERT_EQ(hits.size(), dupes.size());
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].index, i);
+}
+
+TEST(GeoTree, CountCacheIsTransparentAtAnyCapacity) {
+  const auto points = scatter(400, kBeijing, 0.3, 49);
+  const GeoTree cached(points, 4);    // tiny cache: constant eviction
+  const GeoTree uncached(points, 0);  // cache disabled
+  const std::uint64_t code = geohash_encode(kBeijing);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int level = 0; level <= kGeohashMaxLevel; ++level) {
+      const std::uint64_t prefix = geohash_prefix(code, level);
+      EXPECT_EQ(cached.cell_count(prefix, level), uncached.cell_count(prefix, level));
+    }
+  }
+}
+
+TEST(GeoDensity, AdaptiveRadiusShrinksWithDensity) {
+  // Same k over a dense and a sparse corpus: the dense first guess is smaller.
+  const GeoTree dense(scatter(5000, kBeijing, 0.05, 50));
+  const GeoTree sparse(scatter(50, kBeijing, 2.0, 51));
+  const DensityEstimator de_dense(dense);
+  const DensityEstimator de_sparse(sparse);
+  const double r_dense = de_dense.adaptive_radius(kBeijing, 10);
+  const double r_sparse = de_sparse.adaptive_radius(kBeijing, 10);
+  EXPECT_LT(r_dense, r_sparse);
+  EXPECT_GE(r_dense, DensityEstimator::kMinRadiusM);
+  EXPECT_LE(r_sparse, DensityEstimator::kMaxRadiusM);
+  // Probe reports a cell that really holds the requested count.
+  const auto probe = de_dense.probe(kBeijing, 10);
+  EXPECT_GE(probe.count, 10u);
+  EXPECT_GT(probe.density_per_m2, 0.0);
+}
+
+TEST(GeoCellIndex, CandidatesAreSortedSupersetAndTrackMoves) {
+  stats::Rng rng(52);
+  std::vector<LatLon> positions;
+  GeoCellIndex index(500.0);
+  for (std::uint32_t id = 0; id < 300; ++id) {
+    positions.push_back({kBeijing.lat_deg + rng.uniform(-0.05, 0.05),
+                         kBeijing.lon_deg + rng.uniform(-0.05, 0.05)});
+    index.insert(id, positions.back());
+  }
+  // Move a third of the points somewhere else.
+  for (std::uint32_t id = 0; id < 300; id += 3) {
+    positions[id] = {kBeijing.lat_deg + rng.uniform(-0.05, 0.05),
+                     kBeijing.lon_deg + rng.uniform(-0.05, 0.05)};
+    index.move(id, positions[id]);
+  }
+  for (int q = 0; q < 30; ++q) {
+    const LatLon center{kBeijing.lat_deg + rng.uniform(-0.05, 0.05),
+                        kBeijing.lon_deg + rng.uniform(-0.05, 0.05)};
+    const double radius = rng.uniform(100.0, 2000.0);
+    std::vector<std::uint32_t> candidates;
+    index.candidates_within(center, radius, candidates);
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    EXPECT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+                candidates.end());
+    for (std::uint32_t id = 0; id < 300; ++id) {
+      if (equirectangular_m(center, positions[id]) <= radius) {
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), id))
+            << "id " << id << " within " << radius << " m but not a candidate";
+      }
+    }
+  }
+}
+
+TEST(Geodesy, BatchedDistancesBitIdenticalToScalar) {
+  const auto points = scatter(256, kBeijing, 1.5, 53);
+  std::vector<double> batched(points.size());
+  haversine_from(kBeijing, points, batched);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(batched[i], haversine_m(kBeijing, points[i])) << i;
+  }
+  equirectangular_from(kBeijing, points, batched);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(batched[i], equirectangular_m(kBeijing, points[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace locpriv::geo

@@ -1,0 +1,24 @@
+// Violation: a per-query distance scan over the whole PoI container inside a
+// spatial hot path — O(P) haversine/equirectangular calls per lookup.
+#include <cstddef>
+#include <vector>
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+double equirectangular_m(const LatLon& a, const LatLon& b);
+
+int nearest_poi(const std::vector<LatLon>& centroids, const LatLon& stay) {
+  int best = -1;
+  double best_distance = 1e18;
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    const double d = equirectangular_m(centroids[i], stay);
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}

@@ -1,0 +1,23 @@
+// Clean twin: the same lookup routed through the spatial index. The radius
+// query touches only the geohash cells the disc can reach; no distance call
+// runs inside a whole-container loop.
+#include <vector>
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+struct Hit {
+  unsigned index = 0;
+  double distance_m = 0.0;
+};
+
+struct GeoTree {
+  std::vector<Hit> query_radius(const LatLon& center, double radius_m) const;
+};
+
+int nearest_poi(const GeoTree& tree, const LatLon& stay) {
+  const auto hits = tree.query_radius(stay, 100.0);
+  return hits.empty() ? -1 : static_cast<int>(hits.front().index);
+}

@@ -1,0 +1,27 @@
+// Suppressed: the loop is a bounded refine over index candidates (not the
+// whole container), so the justified allow keeps it green.
+#include <cstdint>
+#include <vector>
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+double equirectangular_m(const LatLon& a, const LatLon& b);
+
+int refine(const std::vector<LatLon>& centroids,
+           const std::vector<std::uint32_t>& candidates, const LatLon& stay,
+           double radius_m) {
+  int best = -1;
+  double best_distance = radius_m;
+  for (const std::uint32_t id : candidates) {
+    // locpriv-lint: allow(linear-spatial-scan) bounded candidate refine
+    const double d = equirectangular_m(centroids[id], stay);
+    if (d <= best_distance) {
+      best_distance = d;
+      best = static_cast<int>(id);
+    }
+  }
+  return best;
+}

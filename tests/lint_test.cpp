@@ -86,6 +86,9 @@ TEST(LocprivLint, JustifiedSuppressionsSilenceEveryFlowRule) {
   EXPECT_TRUE(lint_source("src/service/sample.cpp",
                           read_fixture("seq_narrowing_suppressed.cc"))
                   .empty());
+  EXPECT_TRUE(lint_source("src/poi/sample.cpp",
+                          read_fixture("linear_spatial_scan_suppressed.cc"))
+                  .empty());
 }
 
 TEST(LocprivLint, HarnessDirectoryMayWriteRaw) {
@@ -219,6 +222,24 @@ TEST(LocprivLint, UnboundedGrowthPatrolsOnlyLongLivedStateDirs) {
   // Trimmed, local, and justified-suppressed growth all pass in place.
   EXPECT_TRUE(lint_source("src/service/locprivd.cpp",
                           read_fixture("unbounded_growth_clean.cc"))
+                  .empty());
+}
+
+TEST(LocprivLint, LinearSpatialScanPatrolsOnlySpatialDirs) {
+  // Distance calls inside loops are flagged only under src/poi/ and
+  // src/privacy/ — the hot paths the GeoTree index serves; geo/ itself (the
+  // index refine loops live there) and neutral library code are exempt.
+  const std::string bad = read_fixture("linear_spatial_scan_bad.cc");
+  const auto poi = lint_source("src/poi/clustering.cpp", bad);
+  ASSERT_EQ(poi.size(), 1u);
+  EXPECT_EQ(poi[0].rule, "linear-spatial-scan");
+  const auto privacy = lint_source("src/privacy/metrics.cpp", bad);
+  ASSERT_EQ(privacy.size(), 1u);
+  EXPECT_EQ(privacy[0].rule, "linear-spatial-scan");
+  EXPECT_TRUE(lint_source("src/sample.cpp", bad).empty());
+  EXPECT_TRUE(lint_source("src/geo/geotree.cpp", bad).empty());
+  EXPECT_TRUE(lint_source("src/poi/sample.cpp",
+                          read_fixture("linear_spatial_scan_clean.cc"))
                   .empty());
 }
 
@@ -376,7 +397,7 @@ TEST(LocprivLint, JsonFormatsAreWellFormed) {
 
 TEST(LocprivLint, KnownRuleRegistryIsSortedAndComplete) {
   const auto& rules = locpriv::lint::rules();
-  ASSERT_EQ(rules.size(), 13u);
+  ASSERT_EQ(rules.size(), 14u);
   for (std::size_t i = 1; i < rules.size(); ++i)
     EXPECT_LT(rules[i - 1].name, rules[i].name);
   for (const auto& rule : rules)
@@ -402,10 +423,10 @@ TEST(LocprivLint, EveryRegisteredRuleHasAFiringFixture) {
       continue;
     }
     // Path-gated rules need their patrolled directory in the label.
-    const char* label =
-        (rule.name == "seq-narrowing" || rule.name == "unbounded-growth")
-            ? "src/service/sample.cpp"
-            : "src/sample.cpp";
+    const char* label = "src/sample.cpp";
+    if (rule.name == "seq-narrowing" || rule.name == "unbounded-growth")
+      label = "src/service/sample.cpp";
+    if (rule.name == "linear-spatial-scan") label = "src/poi/sample.cpp";
     const auto findings =
         lint_source(label, read_fixture(stem + "_bad.cc"));
     bool fired = false;

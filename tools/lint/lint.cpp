@@ -54,6 +54,7 @@ constexpr std::string_view kSignalSafety = "signal-safety";
 constexpr std::string_view kBlockingUnderLock = "blocking-under-lock";
 constexpr std::string_view kSeqNarrowing = "seq-narrowing";
 constexpr std::string_view kVerbExhaustive = "verb-exhaustive";
+constexpr std::string_view kLinearSpatialScan = "linear-spatial-scan";
 
 // ---------------------------------------------------------------------------
 // v1 line rules: regexes over the lexer's blanked code view. Behaviour is
@@ -561,6 +562,37 @@ void rule_seq_narrowing(FileAnalysis& analysis) {
   }
 }
 
+// ---- linear-spatial-scan --------------------------------------------------
+
+// The spatial hot paths that must run through geo::GeoTree / GeoCellIndex
+// instead of rescanning whole PoI/fix containers per query.
+bool is_spatial_hot_path(std::string_view path) {
+  const std::string p(path);
+  return p.find("src/poi/") != std::string::npos ||
+         p.find("src/privacy/") != std::string::npos;
+}
+
+bool is_distance_call(std::string_view name) {
+  return in_set(name, {"haversine_m", "equirectangular_m", "haversine_from",
+                       "equirectangular_from"});
+}
+
+void rule_linear_spatial_scan(FileAnalysis& analysis) {
+  const FileIndex& file = analysis.index;
+  if (!is_spatial_hot_path(file.path)) return;
+  for (const CallSite& call : file.calls) {
+    if (!is_distance_call(call.name)) continue;
+    if (!file.inside_loop(call.name_token)) continue;
+    analysis.findings.push_back(
+        {file.path, call.line, std::string(kLinearSpatialScan),
+         "distance call " + call.name +
+             "() inside a loop in a spatial hot path; route the scan through "
+             "geo::GeoTree / geo::GeoCellIndex, or suppress with a "
+             "justification if the loop is inherently bounded (window, "
+             "candidate refine, oracle)"});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // analyze_source: lex + index + suppressions + every per-file rule.
 // ---------------------------------------------------------------------------
@@ -671,6 +703,7 @@ FileAnalysis analyze_source(std::string_view path, std::string_view content) {
   rule_fd_guard(analysis);
   rule_blocking_under_lock(analysis);
   rule_seq_narrowing(analysis);
+  rule_linear_spatial_scan(analysis);
   for (Finding& finding : analysis.findings) {
     if (analysis.suppressions.covers(finding.line, finding.rule)) continue;
     findings.push_back(std::move(finding));
@@ -999,6 +1032,11 @@ const std::vector<RuleInfo>& rules() {
        "function-local fd from open/pipe/dup/socket neither closed in the "
        "function nor handed to an owner; wrap it in harness::FdGuard so every "
        "exit path releases it"},
+      {kLinearSpatialScan,
+       "haversine/equirectangular distance call inside a loop under src/poi/ "
+       "or src/privacy/; per-query scans over whole PoI/fix containers belong "
+       "in geo::GeoTree / geo::GeoCellIndex (suppress for inherently bounded "
+       "loops: windows, candidate refines, oracles)"},
       {kNondetRng,
        "std::rand/srand/random_device/time(nullptr): nondeterministic source "
        "breaks resume byte-identity; derive randomness from a seeded stats::Rng"},
