@@ -4,26 +4,36 @@
 // complete new version — never a torn file that looks like data. Every
 // stream operation is checked; failures raise Error(kIo) with the path and
 // errno text, and leave the destination untouched.
+//
+// All I/O flows through the injectable harness::FileOps layer (file_ops.hpp),
+// so a FaultyFileOps plan can hit every stage of the publish protocol —
+// short writes, ENOSPC, lying fsyncs, failed renames — and the torn-write
+// invariant is provable under the full storage-fault menu.
 #pragma once
 
 #include <filesystem>
-#include <fstream>
+#include <ostream>
+#include <streambuf>
 #include <string_view>
+#include <vector>
 
 #include "core/harness/error.hpp"
 
 namespace locpriv::harness {
 
-/// Test-only fault injection points inside AtomicFileWriter::commit().
+/// Legacy one-shot fault injection points inside AtomicFileWriter::commit().
+/// Deprecated: new tests should install a FaultyFileOps (file_ops.hpp) via
+/// ScopedFileOps instead — it covers the full fault menu, is seeded, and
+/// scopes cleanly. This enum survives for the original torn-write tests.
 enum class WriteFault {
   kNone,
   kFlush,   ///< The flush of buffered content fails (simulated ENOSPC).
   kRename,  ///< The final rename fails (simulated ENOSPC on the directory).
 };
 
-/// Arms a one-shot fault for the next commit() in this process. The torn-
-/// write tests use this to prove a failed publish cannot corrupt the
-/// destination.
+/// Arms a one-shot fault for the next commit() in this process. The armed
+/// state is a std::atomic, so concurrent writer tests stay TSan-clean.
+/// Deprecated in favor of FaultyFileOps; see WriteFault.
 void set_write_fault_for_testing(WriteFault fault);
 
 class AtomicFileWriter {
@@ -55,11 +65,39 @@ class AtomicFileWriter {
   void commit();
 
  private:
+  /// std::streambuf over a FileOps descriptor: buffered writes with EINTR
+  /// and short-write retry; the first hard error latches and poisons the
+  /// ostream (badbit), checked at commit().
+  class FdStreamBuf : public std::streambuf {
+   public:
+    FdStreamBuf();
+    void attach(int fd);
+    bool failed() const { return failed_; }
+    int saved_errno() const { return errno_; }
+
+   protected:
+    int_type overflow(int_type c) override;
+    std::streamsize xsputn(const char* data, std::streamsize count) override;
+    int sync() override;
+
+   private:
+    bool flush_buffer();
+    bool write_all(const char* data, std::size_t size);
+
+    int fd_ = -1;
+    std::vector<char> buffer_;
+    bool failed_ = false;
+    int errno_ = 0;
+  };
+
   [[noreturn]] void fail(const std::string& action);
+  void discard();
 
   std::filesystem::path path_;
   std::filesystem::path temp_path_;
-  std::ofstream out_;
+  int fd_ = -1;
+  FdStreamBuf buf_;
+  std::ostream out_;
   bool committed_ = false;
 };
 

@@ -1,0 +1,37 @@
+#include "core/harness/crc32c.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace locpriv::harness {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = build_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data)
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string crc32c_hex(std::string_view data) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc32c(data));
+  return buffer;
+}
+
+}  // namespace locpriv::harness

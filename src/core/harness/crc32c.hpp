@@ -1,0 +1,20 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum the
+// run ledger appends to every JSONL record so replay can tell bit-rot from
+// a torn tail. Software table implementation: the harness never checksums
+// enough bytes per record for SSE4.2 to matter, and a portable table keeps
+// the build dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace locpriv::harness {
+
+/// CRC-32C of `data` (initial value 0, standard final xor).
+std::uint32_t crc32c(std::string_view data);
+
+/// The CRC as fixed-width lowercase hex ("%08x") — the on-disk form.
+std::string crc32c_hex(std::string_view data);
+
+}  // namespace locpriv::harness

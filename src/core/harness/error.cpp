@@ -14,6 +14,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kDeadline: return "deadline_exceeded";
     case ErrorCode::kResume: return "resume_error";
     case ErrorCode::kInterrupted: return "interrupted";
+    case ErrorCode::kLedgerCorrupt: return "ledger_corrupt";
   }
   return "unknown_error";
 }

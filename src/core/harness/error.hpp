@@ -22,8 +22,13 @@ enum class ErrorCode : int {
   kQuarantined = 3,  ///< Lenient ingest / sweep cells quarantined (results partial).
   kIo = 4,           ///< Artifact / ledger I/O failure (ENOSPC, EPERM, ...).
   kDeadline = 5,     ///< A stage exceeded its hard deadline.
-  kResume = 6,       ///< Resume mismatch or corrupt run ledger.
+  kResume = 6,       ///< Resume mismatch or unloadable run state.
   kInterrupted = 7,  ///< SIGINT/SIGTERM: run stopped cleanly, resumable.
+  /// Mid-file ledger corruption (a CRC-failed or unparsable interior
+  /// record): the journal's history cannot be trusted, as opposed to a torn
+  /// tail (truncated silently) or a resume mismatch (kResume). Recoverable
+  /// with `locpriv scrub --repair`.
+  kLedgerCorrupt = 8,
 };
 
 /// Short stable tag for a code ("io_error", "deadline_exceeded", ...).

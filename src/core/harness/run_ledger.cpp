@@ -5,9 +5,9 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
+#include "core/harness/crc32c.hpp"
+#include "core/harness/file_ops.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 
@@ -162,7 +162,100 @@ std::string keyed_fields_line(std::string_view kind, const std::string& cell,
   return json.str();
 }
 
+/// Appends the self-checksum member to a finished line:
+/// `{...}` -> `{...,"crc":"xxxxxxxx"}`, CRC-32C computed over the original.
+std::string with_crc(const std::string& line) {
+  std::string out = line.substr(0, line.size() - 1);
+  out += ",\"crc\":\"";
+  out += crc32c_hex(line);
+  out += "\"}";
+  return out;
+}
+
+bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// Detects and verifies the trailing `,"crc":"xxxxxxxx"}` member. `base`
+/// receives the line as it was checksummed (member stripped, `}` restored)
+/// or the line verbatim when no member is present. Returns 0 for no CRC
+/// member (a pre-CRC ledger line), 1 for a matching CRC, -1 for a mismatch.
+int check_line_crc(std::string_view line, std::string& base) {
+  constexpr std::string_view kKey = ",\"crc\":\"";
+  constexpr std::size_t kSuffix = kKey.size() + 8 + 2;  // key + hex + `"}`.
+  const auto plain = [&] {
+    base.assign(line);
+    return 0;
+  };
+  if (line.size() < kSuffix + 1 || line.substr(line.size() - 2) != "\"}")
+    return plain();
+  const std::size_t key_pos = line.size() - kSuffix;
+  if (line.substr(key_pos, kKey.size()) != kKey) return plain();
+  const std::string_view hex = line.substr(key_pos + kKey.size(), 8);
+  for (const char c : hex)
+    if (!is_hex_digit(c)) return plain();
+  base.assign(line.substr(0, key_pos));
+  base += '}';
+  return crc32c_hex(base) == hex ? 1 : -1;
+}
+
 }  // namespace
+
+LedgerReplay replay_ledger(std::string_view content) {
+  LedgerReplay out;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t newline = content.find('\n', pos);
+    if (newline == std::string_view::npos) {
+      // No terminator: the process died inside the final append. Everything
+      // before this line is intact; the tail is truncated on reopen.
+      out.status = LedgerScan::kTorn;
+      return out;
+    }
+    const std::string_view raw(content.data() + pos, newline - pos);
+    const std::size_t line_number = out.lines + 1;
+    const auto corrupt_here = [&] {
+      out.status = LedgerScan::kCorrupt;
+      out.bad_line = line_number;
+      return out;
+    };
+    std::string base;
+    const int crc = check_line_crc(raw, base);
+    if (crc < 0) return corrupt_here();
+    if (line_number == 1) {
+      // Line 1 must be the run header. Appends are single-write, so a
+      // terminated-but-unparsable header is damage, not a crash artifact.
+      if (!parse_header(base, out.header)) return corrupt_here();
+      out.has_header = true;
+    } else if (!base.empty()) {
+      std::string cell;
+      std::vector<std::string> fields;
+      if (parse_cell(base, cell, fields)) {
+        out.quarantine.erase(cell);
+        out.cells[cell] = std::move(fields);
+      } else if (parse_quarantine(base, cell, fields)) {
+        out.quarantine[cell] = std::move(fields);
+      } else if (crc == 0 &&
+                 content.find_first_not_of(" \t\r\n", newline + 1) ==
+                     std::string_view::npos) {
+        // A malformed final line from a pre-CRC writer is indistinguishable
+        // from a torn append that happened to include a newline in its
+        // payload-free tail: truncate, don't refuse. A CRC-verified line
+        // that fails to parse is writer corruption regardless of position.
+        out.status = LedgerScan::kTorn;
+        return out;
+      } else {
+        // A malformed line with more intact data after it is real
+        // corruption, not a crash artifact — refuse to guess.
+        return corrupt_here();
+      }
+    }
+    ++out.lines;
+    pos = newline + 1;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
 
 RunLedger::RunLedger(fs::path run_dir, const RunInfo& info) {
   std::error_code ec;
@@ -171,61 +264,25 @@ RunLedger::RunLedger(fs::path run_dir, const RunInfo& info) {
     throw Error(ErrorCode::kIo,
                 "cannot create run dir " + run_dir.string() + " (" + ec.message() + ")");
   path_ = run_dir / kLedgerName;
+  FileOps& ops = file_ops();
 
   std::uint64_t valid_bytes = 0;
   bool fresh = true;
   if (fs::exists(path_)) {
-    std::ifstream in(path_, std::ios::binary);
-    if (!in)
-      throw Error(ErrorCode::kIo, "cannot read ledger " + path_.string());
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    replay(buffer.str(), info, valid_bytes);
-    // A ledger whose very first append (the header) was torn truncates to
-    // zero bytes and restarts as a fresh run.
-    fresh = valid_bytes == 0;
-  }
-
-  errno = 0;
-  fd_.reset(::open(path_.c_str(), O_WRONLY | O_CREAT, 0644));
-  if (!fd_.valid())
-    throw Error(ErrorCode::kIo,
-                "cannot open ledger " + path_.string() + errno_detail());
-  // Drop any torn tail a crash left behind, then continue appending after
-  // the last intact record. The guard closes the fd on the throw path.
-  if (::ftruncate(fd_.get(), static_cast<off_t>(valid_bytes)) != 0 ||
-      ::lseek(fd_.get(), static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
-    const Error error(ErrorCode::kIo,
-                      "cannot truncate ledger " + path_.string() + errno_detail());
-    fd_.reset();
-    throw error;
-  }
-  if (fresh) append_line(header_line(info));
-}
-
-RunLedger::~RunLedger() = default;
-
-void RunLedger::replay(const std::string& content, const RunInfo& info,
-                       std::uint64_t& valid_bytes) {
-  valid_bytes = 0;
-  std::size_t pos = 0;
-  std::size_t line_number = 0;
-  bool torn = false;
-  while (pos < content.size()) {
-    const std::size_t newline = content.find('\n', pos);
-    if (newline == std::string::npos) {
-      // No terminator: the process died inside the final append. Everything
-      // before this line is intact; the tail is truncated by the caller.
-      torn = true;
-      break;
-    }
-    const std::string_view line(content.data() + pos, newline - pos);
-    ++line_number;
-    if (line_number == 1) {
-      RunInfo header;
-      if (!parse_header(line, header))
-        throw Error(ErrorCode::kResume,
-                    "ledger " + path_.string() + " has an unreadable header");
+    std::string content;
+    errno = 0;
+    if (!read_file_through_ops(path_.string(), content))
+      throw Error(ErrorCode::kIo,
+                  "cannot read ledger " + path_.string() + errno_detail());
+    LedgerReplay replay = replay_ledger(content);
+    if (replay.status == LedgerScan::kCorrupt)
+      throw Error(ErrorCode::kLedgerCorrupt,
+                  "ledger " + path_.string() + " is corrupt at line " +
+                      std::to_string(replay.bad_line) +
+                      "; run `locpriv scrub --repair` to truncate to the last "
+                      "intact record");
+    if (replay.has_header) {
+      const RunInfo& header = replay.header;
       if (header.experiment != info.experiment || header.seed != info.seed ||
           header.scale != info.scale)
         throw Error(ErrorCode::kResume,
@@ -239,29 +296,36 @@ void RunLedger::replay(const std::string& content, const RunInfo& info,
                         header.mode + ", not " + info.mode +
                         "; rerun with the original --isolate/--workers settings "
                         "or start a fresh --run-dir");
-    } else if (!line.empty()) {
-      std::string cell;
-      std::vector<std::string> fields;
-      if (parse_cell(line, cell, fields)) {
-        quarantine_.erase(cell);
-        cells_[cell] = std::move(fields);
-      } else if (parse_quarantine(line, cell, fields)) {
-        quarantine_[cell] = std::move(fields);
-      } else {
-        // A malformed line with more intact data after it is real
-        // corruption, not a crash artifact — refuse to guess.
-        if (content.find_first_not_of(" \t\r\n", newline + 1) != std::string::npos)
-          throw Error(ErrorCode::kResume,
-                      "ledger " + path_.string() + " is corrupt at line " +
-                          std::to_string(line_number));
-        torn = true;
-        break;
-      }
     }
-    pos = newline + 1;
-    valid_bytes = pos;
+    cells_ = std::move(replay.cells);
+    quarantine_ = std::move(replay.quarantine);
+    valid_bytes = replay.valid_bytes;
+    // A ledger whose very first append (the header) was torn truncates to
+    // zero bytes and restarts as a fresh run.
+    fresh = !replay.has_header;
   }
-  if (!torn) valid_bytes = content.size();
+
+  errno = 0;
+  fd_ = ops.open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0)
+    throw Error(ErrorCode::kIo,
+                "cannot open ledger " + path_.string() + errno_detail());
+  // Drop any torn tail a crash left behind, then continue appending after
+  // the last intact record.
+  errno = 0;
+  if (ops.ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    const Error error(ErrorCode::kIo,
+                      "cannot truncate ledger " + path_.string() + errno_detail());
+    ops.close(fd_);
+    fd_ = -1;
+    throw error;
+  }
+  if (fresh) append_line(header_line(info));
+}
+
+RunLedger::~RunLedger() {
+  if (fd_ >= 0) file_ops().close(fd_);
 }
 
 bool RunLedger::completed(const std::string& cell) const {
@@ -310,30 +374,42 @@ std::vector<std::string> RunLedger::quarantined_cells() const {
 
 void RunLedger::sync() {
   errno = 0;
-  if (fd_.valid() && ::fsync(fd_.get()) != 0)
+  if (fd_ >= 0 && file_ops().fsync(fd_) != 0)
     throw Error(ErrorCode::kIo,
                 "cannot fsync ledger " + path_.string() + errno_detail());
 }
 
 void RunLedger::append_line(const std::string& line) {
-  std::string buffer = line;
+  FileOps& ops = file_ops();
+  std::string buffer = with_crc(line);
   buffer += '\n';
   // One write(2) per record: a SIGKILL cannot interleave two records, so
-  // the only possible damage is a short tail, which replay() truncates.
+  // the only possible damage is a short tail, which replay truncates. The
+  // CRC member rides inside the same write.
+  const off_t start = ::lseek(fd_, 0, SEEK_CUR);
   std::size_t written = 0;
   while (written < buffer.size()) {
     errno = 0;
-    const ssize_t n =
-        ::write(fd_.get(), buffer.data() + written, buffer.size() - written);
+    const ::ssize_t n =
+        ops.write(fd_, buffer.data() + written, buffer.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw Error(ErrorCode::kIo,
-                  "cannot append to ledger " + path_.string() + errno_detail());
+      const Error error(ErrorCode::kIo, "cannot append to ledger " +
+                                            path_.string() + errno_detail());
+      // Roll back to the record boundary so a caller that survives the
+      // error (e.g. ENOSPC that later clears) cannot interleave a partial
+      // record with the next append. Best effort on an already-failing fd.
+      if (start >= 0) {
+        // locpriv-lint: allow(unchecked-io) rollback on the failure path must not mask the original error
+        ops.ftruncate(fd_, start);
+        ::lseek(fd_, start, SEEK_SET);
+      }
+      throw error;
     }
     written += static_cast<std::size_t>(n);
   }
   errno = 0;
-  if (::fsync(fd_.get()) != 0)
+  if (ops.fsync(fd_) != 0)
     throw Error(ErrorCode::kIo,
                 "cannot fsync ledger " + path_.string() + errno_detail());
 }

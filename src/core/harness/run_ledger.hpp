@@ -7,16 +7,25 @@
 // and truncated on the next open. Reruns that open the same ledger skip
 // completed cells and replay their recorded fields, reproducing the final
 // artifact of an uninterrupted run byte for byte.
+//
+// Every line additionally carries a CRC-32C of itself (a trailing
+// `,"crc":"xxxxxxxx"` member computed over the line with that member
+// removed), so replay can tell the two damage classes apart: a torn tail
+// (no terminator — truncated silently, by design) versus mid-file bit-rot
+// (a terminated line whose CRC or syntax fails — refused with
+// kLedgerCorrupt; `locpriv scrub --repair` truncates to the last intact
+// record). Pre-CRC ledgers replay unchanged. All I/O flows through the
+// injectable harness::FileOps layer.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/harness/error.hpp"
-#include "core/harness/fd_guard.hpp"
 
 namespace locpriv::harness {
 
@@ -34,12 +43,40 @@ struct RunInfo {
   std::string mode = "inproc-w1";
 };
 
+/// What a raw ledger image scan concluded.
+enum class LedgerScan {
+  kClean,    ///< Every line intact and parsed.
+  kTorn,     ///< The final append was cut short; valid_bytes excludes it.
+  kCorrupt,  ///< An interior record failed its CRC or cannot be parsed.
+};
+
+/// The result of replaying raw ledger bytes: the latest-state view of every
+/// record, the scan status, and the longest intact prefix (what a repair
+/// truncates to).
+struct LedgerReplay {
+  LedgerScan status = LedgerScan::kClean;
+  bool has_header = false;  ///< Line 1 parsed as a run header.
+  RunInfo header;
+  std::map<std::string, std::vector<std::string>> cells;
+  std::map<std::string, std::vector<std::string>> quarantine;
+  std::uint64_t valid_bytes = 0;  ///< Bytes covered by intact records.
+  std::size_t bad_line = 0;       ///< 1-based first bad line, when kCorrupt.
+  std::size_t lines = 0;          ///< Terminated lines scanned.
+};
+
+/// Pure replay over raw ledger bytes. Touches no filesystem state and never
+/// throws on damage (the status field reports it) — shared by RunLedger,
+/// the scrubber, and the fuzz harness. CRC-suffixed lines are verified;
+/// lines without a CRC (pre-CRC ledgers) are accepted on syntax alone.
+LedgerReplay replay_ledger(std::string_view content);
+
 class RunLedger {
  public:
   /// Opens (creating if needed) `run_dir/ledger.jsonl`. An existing ledger
   /// is replayed: the header must match `info` (Error kResume otherwise),
   /// completed cells are loaded, and a torn trailing line is truncated
-  /// away. Throws Error(kIo) on filesystem failures.
+  /// away. A CRC-failed or unparsable interior record throws
+  /// Error(kLedgerCorrupt). Throws Error(kIo) on filesystem failures.
   RunLedger(std::filesystem::path run_dir, const RunInfo& info);
   ~RunLedger();
 
@@ -85,14 +122,12 @@ class RunLedger {
   const std::filesystem::path& path() const { return path_; }
 
  private:
-  void replay(const std::string& content, const RunInfo& info,
-              std::uint64_t& valid_bytes);
   void append_line(const std::string& line);
 
   std::filesystem::path path_;
   std::map<std::string, std::vector<std::string>> cells_;
   std::map<std::string, std::vector<std::string>> quarantine_;
-  FdGuard fd_;
+  int fd_ = -1;  ///< Closed through the FileOps layer, not FdGuard.
 };
 
 }  // namespace locpriv::harness

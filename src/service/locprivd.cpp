@@ -9,9 +9,8 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 
+#include "core/harness/file_ops.hpp"
 #include "core/harness/supervisor.hpp"
 #include "service/shard_child.hpp"
 #include "service/snapshot.hpp"
@@ -129,6 +128,11 @@ struct LocprivService::Shard {
   double ewma_ms = 0.0;               ///< Batch-turnaround EWMA.
   bool ewma_init = false;
   bool degraded = false;              ///< Inside a degraded-EWMA episode.
+  /// Inside a storage-degraded episode: snapshots are shedding because the
+  /// child cannot publish them. Survives respawn — the disk, not the
+  /// incarnation, is what is broken. Cleared when a publish lands.
+  bool storage_degraded = false;
+  int drain_snapfails = 0;            ///< Consecutive failed drain publishes.
   std::uint64_t offered = 0;          ///< Batches offered to this shard.
   std::uint64_t accepted = 0;
   std::uint64_t shed = 0;
@@ -264,11 +268,10 @@ void LocprivService::resume_pointer(Shard& shard) {
         ledger_->fields(shard.name + "/snap/" + std::to_string(seq));
     if (fields == nullptr || fields->size() < 5) continue;
     const std::string& file = (*fields)[0];
-    std::ifstream in(file, std::ios::binary);
-    if (!in) continue;
-    std::ostringstream content;
-    content << in.rdbuf();
-    const std::string encoded = content.str();
+    // Through the FileOps layer, so read-path fault plans (bit-flips, EIO)
+    // exercise the newest-two fallback below.
+    std::string encoded;
+    if (!harness::read_file_through_ops(file, encoded)) continue;
     try {
       const ShardSnapshot snapshot = parse_snapshot(encoded);
       if (snapshot.shard != shard.index || snapshot.seq != seq ||
@@ -681,10 +684,14 @@ void LocprivService::pump(std::chrono::milliseconds timeout) {
       queue_snapshot(shard, wire::kCmdSnapshot);
     } else if (options_.max_retained_bytes > 0 &&
                shard.retained_bytes >= options_.max_retained_bytes &&
-               shard.acked_seq > shard.snap_last_seq && !snapshot_in_flight) {
+               shard.acked_seq > shard.snap_last_seq && !snapshot_in_flight &&
+               !shard.storage_degraded) {
       // Only force when the snapshot can advance the watermark (the child
       // acked past the last one), else the snapshot would truncate nothing
-      // and the cadence would spin.
+      // and the cadence would spin. A storage-degraded shard is also
+      // excluded: its publishes are failing, so forcing here would retry in
+      // a tight loop instead of on the snapshot cadence — retained stays
+      // capped anyway because admission holds at the byte cap.
       ++stats_.forced_snapshots;
       queue_snapshot(shard, wire::kCmdSnapshot);
     }
@@ -898,6 +905,19 @@ void LocprivService::dispatch_response(Shard& shard,
              fields.size() >= 6) {
     record_snapshot(shard, fields);
     if (verb == wire::kRspDrained) shard.state = Shard::State::kDrained;
+  } else if (verb == wire::kRspSnapfail && fields.size() >= 3) {
+    // The failed publish's pending op was queued under its *success* verb
+    // (kRspSnapped/kRspDrained), so the auto-pop above did not fire; pop it
+    // explicitly or the shard would be falsely escalated as unresponsive
+    // once the op deadline lapses.
+    bool was_drain = false;
+    if (!shard.pending.empty() &&
+        (shard.pending.front().verb == wire::kRspSnapped ||
+         shard.pending.front().verb == wire::kRspDrained)) {
+      was_drain = shard.pending.front().verb == wire::kRspDrained;
+      shard.pop_op();
+    }
+    handle_snapshot_failure(shard, fields[2], was_drain);
   } else if (verb == wire::kRspReports && fields.size() >= 4) {
     const std::size_t rows = static_cast<std::size_t>(parse_u64(fields[2]));
     const std::size_t cols = static_cast<std::size_t>(parse_u64(fields[3]));
@@ -909,6 +929,46 @@ void LocprivService::dispatch_response(Shard& shard,
             fields.begin() + static_cast<std::ptrdiff_t>(4 + (r + 1) * cols));
       shard.report_ready = true;
     }
+  }
+}
+
+void LocprivService::handle_snapshot_failure(Shard& shard,
+                                             const std::string& error,
+                                             bool was_drain) {
+  ++stats_.snapshots_shed;
+  // Rewind the handed-out seq so the retry reuses it: journaled snapshot
+  // seqs must stay dense (1, 2, ...) per shard or resume_pointer's upward
+  // probe would stop short of snapshots journaled after a failure.
+  shard.queued_snap_seq = shard.snap_seq;
+  // Retry on the normal cadence; the successful publish re-arms the shard.
+  shard.next_snapshot_at = Clock::now() + options_.snapshot_interval;
+  if (!shard.storage_degraded) {
+    shard.storage_degraded = true;
+    ++stats_.storage_degraded_events;
+    // One journal line per degraded episode (probe-upward key, like the
+    // shed records), so an offline audit of the run directory can count
+    // snapshot-shedding episodes and see what the disk said. If the ledger
+    // itself cannot append (same full disk), the Error propagates and the
+    // service exits with the I/O taxonomy code — degraded mode trades
+    // snapshot durability, never journal integrity.
+    std::uint64_t n = 1;
+    while (ledger_->completed(shard.name + "/snapdrop/" + std::to_string(n)))
+      ++n;
+    ledger_->record(shard.name + "/snapdrop/" + std::to_string(n),
+                    {std::to_string(shard.snap_seq + 1), error});
+    LOCPRIV_LOG(kWarn, "locprivd")
+        << shard.name << " snapshot publish failed (" << error
+        << "); shedding snapshots, serving from memory";
+  }
+  if (was_drain) {
+    // A drain retries through the drain() loop; a disk that never accepts
+    // the final snapshot must not hang shutdown forever.
+    ++shard.drain_snapfails;
+    if (shard.drain_snapfails >= 3)
+      throw Error(ErrorCode::kIo,
+                  shard.name + ": final drain snapshot failed " +
+                      std::to_string(shard.drain_snapfails) +
+                      " times: " + error);
   }
 }
 
@@ -946,6 +1006,14 @@ void LocprivService::record_snapshot(Shard& shard,
   ledger_->record(shard.name + "/snap/" + std::to_string(snap_seq),
                   {file, fields[2], fields[3], fields[4], fields[5]});
   ++stats_.snapshots;
+  if (shard.storage_degraded) {
+    // The publish landed: storage recovered. Re-arm normal snapshotting.
+    shard.storage_degraded = false;
+    shard.drain_snapfails = 0;
+    LOCPRIV_LOG(kInfo, "locprivd")
+        << shard.name << " snapshot " << snap_seq
+        << " published; storage recovered, snapshots re-armed";
+  }
   shard.snap_seq = snap_seq;
   shard.snap_last_seq = last_seq;
   shard.restore_file = file;
@@ -1135,6 +1203,7 @@ ShardLoad LocprivService::shard_load(unsigned shard) const {
   load.retained_bytes = s.retained_bytes;
   load.ewma_ms = s.ewma_init ? s.ewma_ms : 0.0;
   load.degraded = s.degraded;
+  load.storage_degraded = s.storage_degraded;
   load.quarantined = s.state == Shard::State::kQuarantined;
   return load;
 }

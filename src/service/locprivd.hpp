@@ -18,6 +18,13 @@
 // leave the run directory resumable (exit 7); a resume under a different
 // shard count is refused (exit 6) because the user->shard mapping would
 // scatter the journaled state.
+//
+// Storage-degraded mode: when a shard's snapshot publish fails (ENOSPC,
+// EIO), the shard stays alive and the parent sheds the snapshot — journaled
+// once per episode as `<shard>/snapdrop/<n>` — keeps serving from memory
+// under the retained-byte caps, and retries on the snapshot cadence; the
+// first successful publish re-arms normal operation. Only a drain whose
+// final snapshot keeps failing gives up, with the taxonomy's exit 4 (kIo).
 #pragma once
 
 #include <chrono>
@@ -135,6 +142,8 @@ struct ServiceStats {
   std::uint64_t shed_quarantined = 0;   ///< Offered to a quarantined shard.
   std::uint64_t snapshots = 0;
   std::uint64_t forced_snapshots = 0;   ///< Early snapshots from the retained-byte cap.
+  std::uint64_t snapshots_shed = 0;     ///< Snapshot publishes that failed (ENOSPC/EIO).
+  std::uint64_t storage_degraded_events = 0;  ///< Storage-degraded episodes entered.
   std::uint64_t degraded_events = 0;    ///< Degraded-EWMA episodes entered.
   std::uint64_t slow_restarts = 0;      ///< Respawns triggered by the slow-EWMA threshold.
   std::uint64_t blocked_waits = 0;      ///< Lossless submits that waited for window credit.
@@ -163,6 +172,7 @@ struct ShardLoad {
   std::size_t retained_bytes = 0;
   double ewma_ms = 0.0;               ///< Batch-turnaround EWMA (0 until first sample).
   bool degraded = false;
+  bool storage_degraded = false;      ///< Shedding snapshots after a publish failure.
   bool quarantined = false;
 };
 
@@ -310,6 +320,14 @@ class LocprivService {
   void handle_death(Shard& shard, int status);
   void quarantine(Shard& shard, std::string reason);
   void dispatch_response(Shard& shard, const std::vector<std::string>& fields);
+  /// A child reported a failed snapshot/drain publish (kRspSnapfail): shed
+  /// the snapshot, enter the shard's storage-degraded episode (journaled
+  /// once as `<shard>/snapdrop/<n>`), and keep serving from memory under
+  /// the retained-byte caps. Repeated *drain* failures exhaust a small
+  /// retry budget and throw Error(kIo) — shutdown must not hang on a disk
+  /// that will never accept the final snapshot.
+  void handle_snapshot_failure(Shard& shard, const std::string& error,
+                               bool was_drain);
   void queue_snapshot(Shard& shard, const char* verb);
   void queue_ping(Shard& shard);
   void flush_out(Shard& shard);

@@ -141,7 +141,7 @@ struct ShardState {
     respond(config.resp_fd, {wire::kRspAck, cmd[1], "1"});
   }
 
-  void write_snapshot(const std::vector<std::string>& cmd, const char* verb) {
+  bool write_snapshot(const std::vector<std::string>& cmd, const char* verb) {
     const auto snap_seq = static_cast<std::uint64_t>(parse_i64(cmd[1]));
     const std::string& path = cmd[2];
     ShardSnapshot snapshot;
@@ -150,14 +150,25 @@ struct ShardState {
     snapshot.last_seq = last_seq;
     snapshot.users = users;
     const std::string encoded = encode_snapshot(snapshot);
-    harness::AtomicFileWriter writer(path);
-    writer.stream() << encoded;
-    writer.commit();
+    try {
+      harness::AtomicFileWriter writer(path);
+      writer.stream() << encoded;
+      writer.commit();
+    } catch (const Error& e) {
+      // Report the failure instead of dying: the in-memory state is still
+      // authoritative and AtomicFileWriter left the previous snapshot
+      // intact. The parent sheds the snapshot, keeps the retained suffix,
+      // and retries later (disk-full degraded mode).
+      respond(config.resp_fd,
+              {wire::kRspSnapfail, std::to_string(snap_seq), e.what()});
+      return false;
+    }
     respond(config.resp_fd,
             {verb, std::to_string(snap_seq), std::to_string(last_seq),
              std::to_string(users.size()),
              std::to_string(snapshot.fix_count()),
              snapshot_checksum(encoded)});
+    return true;
   }
 
   void handle_report(const std::vector<std::string>& cmd) {
@@ -237,8 +248,10 @@ void shard_child_main(const ShardChildConfig& config,
         } else if (verb == wire::kCmdReport) {
           state.handle_report(cmd);
         } else if (verb == wire::kCmdDrain) {
-          state.write_snapshot(cmd, wire::kRspDrained);
-          ::_exit(0);
+          // Only exit once the final snapshot actually published; a failed
+          // drain keeps the shard alive so the parent can retry (or give up
+          // with a taxonomy exit) without losing the in-memory state.
+          if (state.write_snapshot(cmd, wire::kRspDrained)) ::_exit(0);
         } else {
           note("shard " + config.name + ": unknown command " + verb);
           ::_exit(exit_code(ErrorCode::kInternal));

@@ -2,10 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "core/harness/error.hpp"
+#include "core/harness/file_ops.hpp"
 
 namespace locpriv::service {
 
@@ -142,15 +142,13 @@ ShardSnapshot parse_snapshot(const std::string& encoded) {
 }
 
 ShardSnapshot load_snapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in)
+  // Through the injectable FileOps layer, so a read-path fault plan
+  // (bit-flips, EIO) exercises the checksum rejection below.
+  std::string encoded;
+  if (!harness::read_file_through_ops(path, encoded))
     throw Error(ErrorCode::kResume, "cannot open shard snapshot " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in.good() && !in.eof())
-    throw Error(ErrorCode::kResume, "cannot read shard snapshot " + path);
   try {
-    return parse_snapshot(buffer.str());
+    return parse_snapshot(encoded);
   } catch (Error& e) {
     throw e.add_context("loading " + path);
   }

@@ -29,6 +29,10 @@ inline constexpr char kRspPong[] = "pong";         ///< token, ingested, state_b
 inline constexpr char kRspSnapped[] = "snapped";   ///< snap_seq, last_seq, users, fixes, checksum
 inline constexpr char kRspReports[] = "reports";   ///< token, rows, cols, fields...
 inline constexpr char kRspDrained[] = "drained";   ///< snap_seq, last_seq, users, fixes, checksum
+/// A snapshot/drain publish failed in the child (ENOSPC, EIO). The shard
+/// stays alive and authoritative in memory; the parent sheds the snapshot
+/// and enters storage-degraded mode for that shard.
+inline constexpr char kRspSnapfail[] = "snapfail"; ///< snap_seq, error
 
 // Stream sanity caps: a single message past 64 MiB or 1M fields is
 // corruption, not data (a whole-dataset shard report stays far below both).

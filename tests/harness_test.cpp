@@ -218,7 +218,9 @@ TEST(RunLedger, InteriorCorruptionRefusesToGuess) {
     ledger.record("cell_a", {"1"});
   }
   // Corrupt an interior line (more intact data follows), which single-write
-  // appends cannot produce — this is damage, not a crash artifact.
+  // appends cannot produce — this is damage, not a crash artifact, and it
+  // gets the dedicated ledger-corrupt exit so scripts can route it to
+  // `locpriv scrub --repair` instead of treating it as a resume mismatch.
   std::string content = slurp(dir / "ledger.jsonl");
   content += "garbage line\n{\"cell\":\"cell_b\",\"fields\":[\"2\"]}\n";
   {
@@ -230,8 +232,9 @@ TEST(RunLedger, InteriorCorruptionRefusesToGuess) {
     RunLedger ledger(dir, kInfo);
     FAIL() << "corrupt ledger should have thrown";
   } catch (const Error& error) {
-    EXPECT_EQ(error.code(), ErrorCode::kResume);
-    EXPECT_EQ(error.exit_code(), 6);
+    EXPECT_EQ(error.code(), ErrorCode::kLedgerCorrupt);
+    EXPECT_EQ(error.exit_code(), 8);
+    EXPECT_NE(std::string(error.what()).find("scrub"), std::string::npos);
   }
 }
 
@@ -452,7 +455,9 @@ TEST(ErrorTaxonomy, CodesMapToDistinctExitCodes) {
   EXPECT_EQ(exit_code(ErrorCode::kDeadline), 5);
   EXPECT_EQ(exit_code(ErrorCode::kResume), 6);
   EXPECT_EQ(exit_code(ErrorCode::kInterrupted), 7);
+  EXPECT_EQ(exit_code(ErrorCode::kLedgerCorrupt), 8);
   EXPECT_EQ(error_code_name(ErrorCode::kInterrupted), "interrupted");
+  EXPECT_EQ(error_code_name(ErrorCode::kLedgerCorrupt), "ledger_corrupt");
 }
 
 TEST(ErrorTaxonomy, ContextChainRendersOutermostFirst) {

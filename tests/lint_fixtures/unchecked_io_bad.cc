@@ -1,0 +1,8 @@
+// Violation: the fsync result vanishes. If the kernel refused the flush,
+// the caller goes on to publish a file whose bytes were never made durable
+// — the storage fault becomes silent data loss.
+#include <unistd.h>
+
+void publish(int fd) {
+  ::fsync(fd);
+}

@@ -1,7 +1,7 @@
 // Mini-tree fixture: kIo = 3 is missing from the README exit-code table.
 #pragma once
 
-enum class ErrorCode {
+enum class ErrorCode : int {
   kInternal = 1,
   kUsage = 2,
   kIo = 3,

@@ -1,7 +1,7 @@
 // Mini-tree fixture: an exit-code taxonomy that matches the README table.
 #pragma once
 
-enum class ErrorCode {
+enum class ErrorCode : int {
   kInternal = 1,
   kUsage = 2,
 };

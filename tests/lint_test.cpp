@@ -243,6 +243,38 @@ TEST(LocprivLint, LinearSpatialScanPatrolsOnlySpatialDirs) {
                   .empty());
 }
 
+TEST(LocprivLint, UncheckedIoPatrolsOnlyStorageOwningDirs) {
+  // Discarded durability results are flagged only under the directories
+  // that own storage (harness + service); neutral library code discards
+  // freely (it does not publish artifacts directly).
+  const std::string bad = read_fixture("unchecked_io_bad.cc");
+  const auto harness = lint_source("src/core/harness/atomic_file.cpp", bad);
+  ASSERT_EQ(harness.size(), 1u);
+  EXPECT_EQ(harness[0].rule, "unchecked-io");
+  const auto service = lint_source("src/service/snapshot.cpp", bad);
+  ASSERT_EQ(service.size(), 1u);
+  EXPECT_EQ(service[0].rule, "unchecked-io");
+  EXPECT_TRUE(lint_source("src/sample.cpp", bad).empty());
+  EXPECT_TRUE(lint_source("src/core/harness/sample.cpp",
+                          read_fixture("unchecked_io_clean.cc"))
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/harness/sample.cpp",
+                          read_fixture("unchecked_io_suppressed.cc"))
+                  .empty());
+  // The injectable FileOps layer is covered through its member spelling;
+  // other receivers (std::ostream::write) conventionally discard.
+  const char* member =
+      "struct FileOps { int fsync(int); };\n"
+      "void f(FileOps& ops, int fd) { ops.fsync(fd); }\n";
+  const auto flagged = lint_source("src/core/harness/sample.cpp", member);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].rule, "unchecked-io");
+  const char* stream =
+      "struct Sink { int fsync(int); };\n"
+      "void f(Sink& out, int fd) { out.fsync(fd); }\n";
+  EXPECT_TRUE(lint_source("src/core/harness/sample.cpp", stream).empty());
+}
+
 TEST(LocprivLint, UnorderedContainerWithoutSerializationSinkIsClean) {
   EXPECT_TRUE(lint_fixture("unordered_no_sink_clean.cc").empty());
 }
@@ -397,7 +429,7 @@ TEST(LocprivLint, JsonFormatsAreWellFormed) {
 
 TEST(LocprivLint, KnownRuleRegistryIsSortedAndComplete) {
   const auto& rules = locpriv::lint::rules();
-  ASSERT_EQ(rules.size(), 14u);
+  ASSERT_EQ(rules.size(), 15u);
   for (std::size_t i = 1; i < rules.size(); ++i)
     EXPECT_LT(rules[i - 1].name, rules[i].name);
   for (const auto& rule : rules)
@@ -427,6 +459,7 @@ TEST(LocprivLint, EveryRegisteredRuleHasAFiringFixture) {
     if (rule.name == "seq-narrowing" || rule.name == "unbounded-growth")
       label = "src/service/sample.cpp";
     if (rule.name == "linear-spatial-scan") label = "src/poi/sample.cpp";
+    if (rule.name == "unchecked-io") label = "src/core/harness/sample.cpp";
     const auto findings =
         lint_source(label, read_fixture(stem + "_bad.cc"));
     bool fired = false;

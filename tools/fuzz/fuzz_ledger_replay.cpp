@@ -1,0 +1,44 @@
+// libFuzzer harness for the run-ledger replay scanner. replay_ledger() is
+// the single parser every consumer of ledger bytes trusts — RunLedger's
+// open path, the scrubber, and locprivd's resume — and it is documented as
+// pure and non-throwing: damage surfaces in the status field, never as an
+// exception or a crash. The harness feeds arbitrary bytes and enforces:
+//   - no crash/UB and no exception on any input (torn tails, CRC'd garbage,
+//     interior corruption, binary noise);
+//   - valid_bytes never exceeds the input and always ends on a line
+//     boundary (it is what a repair truncates to);
+//   - kCorrupt always names a bad line inside the scanned range;
+//   - the intact prefix is a fixed point: replaying content[0, valid_bytes)
+//     must come back kClean with the identical cell view, or a repair that
+//     truncates to it would not actually repair.
+// Build with -DLOCPRIV_FUZZ=ON (clang); see tools/fuzz/CMakeLists.txt.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/harness/run_ledger.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace harness = locpriv::harness;
+  const std::string_view content(reinterpret_cast<const char*>(data), size);
+  const harness::LedgerReplay replay = harness::replay_ledger(content);
+
+  if (replay.valid_bytes > size) __builtin_trap();
+  if (replay.valid_bytes > 0 && content[replay.valid_bytes - 1] != '\n')
+    __builtin_trap();
+  if (replay.status == harness::LedgerScan::kCorrupt &&
+      (replay.bad_line == 0 || replay.bad_line > replay.lines + 1))
+    __builtin_trap();
+  if (replay.status == harness::LedgerScan::kClean &&
+      replay.valid_bytes != size)
+    __builtin_trap();
+
+  const harness::LedgerReplay again = harness::replay_ledger(
+      content.substr(0, static_cast<std::size_t>(replay.valid_bytes)));
+  if (again.status != harness::LedgerScan::kClean ||
+      again.valid_bytes != replay.valid_bytes ||
+      again.cells != replay.cells || again.has_header != replay.has_header)
+    __builtin_trap();
+  return 0;
+}

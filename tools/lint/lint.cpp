@@ -47,6 +47,7 @@ constexpr std::string_view kSwallowedCatch = "swallowed-catch";
 constexpr std::string_view kExitCall = "exit-call";
 constexpr std::string_view kRawProcess = "raw-process";
 constexpr std::string_view kUnboundedGrowth = "unbounded-growth";
+constexpr std::string_view kUncheckedIo = "unchecked-io";
 constexpr std::string_view kBadSuppression = "bad-suppression";
 constexpr std::string_view kEintrRetry = "eintr-retry";
 constexpr std::string_view kFdGuard = "fd-guard";
@@ -593,6 +594,68 @@ void rule_linear_spatial_scan(FileAnalysis& analysis) {
   }
 }
 
+// ---- unchecked-io ---------------------------------------------------------
+
+// Durability calls whose failure loses data when nobody looks: a write that
+// came up short, an fsync the kernel refused, a rename that never published.
+// close/unlink are deliberately out of scope — their failure modes are
+// cleanup noise, and flagging them would bury the signal.
+bool is_durability_call(std::string_view name) {
+  return in_set(name, {"write", "pwrite", "fsync", "fdatasync", "rename",
+                       "ftruncate"});
+}
+
+// Flags durability-relevant IO whose result is discarded — the call is a
+// whole expression statement — under the storage-owning directories. Covers
+// the raw spellings (`fsync(fd);`, `::write(...)`) and the injectable
+// harness::FileOps layer (`ops.fsync(fd);`); member calls through other
+// receivers (std::ostream::write) conventionally discard their return.
+// `(void)` casts and justified suppressions are the two visible escapes.
+void rule_unchecked_io(FileAnalysis& analysis) {
+  const FileIndex& file = analysis.index;
+  if (!is_harness_path(file.path) && !is_service_path(file.path)) return;
+  const std::vector<Token>& tokens = file.src.tokens;
+  for (const CallSite& call : file.calls) {
+    if (!is_durability_call(call.name)) continue;
+    std::size_t start = call.name_token;  // first token of the call expression
+    if (call.qual == CallQual::kGlobal) {
+      start = call.name_token - 1;  // the `::`
+    } else if (call.qual == CallQual::kMember) {
+      if (call.name_token < 2) continue;
+      const Token& receiver = tokens[call.name_token - 2];
+      if (receiver.kind != TokenKind::kIdentifier ||
+          receiver.text.find("ops") == std::string::npos)
+        continue;
+      start = call.name_token - 2;
+    } else if (call.qual == CallQual::kType) {
+      continue;  // std::rename / fs::rename — the raw-write rule owns those.
+    }
+    if (start == 0 || call.rparen + 1 >= tokens.size()) continue;
+    const Token& after = tokens[call.rparen + 1];
+    if (after.kind != TokenKind::kPunct || after.text != ";") continue;
+    const Token& before = tokens[start - 1];
+    const bool boundary =
+        (before.kind == TokenKind::kPunct &&
+         (before.text == ";" || before.text == "{" || before.text == "}" ||
+          before.text == ")")) ||
+        is_ident_token(before, "else") || is_ident_token(before, "do");
+    if (!boundary) continue;
+    // `(void)ops.fsync(fd);` is an explicit, visible discard.
+    if (before.text == ")" && start >= 3 &&
+        is_ident_token(tokens[start - 2], "void") &&
+        tokens[start - 3].kind == TokenKind::kPunct &&
+        tokens[start - 3].text == "(")
+      continue;
+    analysis.findings.push_back(
+        {file.path, call.line, std::string(kUncheckedIo),
+         "result of " + call.name +
+             "() is discarded in durability-critical code; a storage fault "
+             "here becomes silent data loss — check it, or suppress with a "
+             "reason when failure genuinely cannot matter (cleanup on an "
+             "already-failing path)"});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // analyze_source: lex + index + suppressions + every per-file rule.
 // ---------------------------------------------------------------------------
@@ -704,6 +767,7 @@ FileAnalysis analyze_source(std::string_view path, std::string_view content) {
   rule_blocking_under_lock(analysis);
   rule_seq_narrowing(analysis);
   rule_linear_spatial_scan(analysis);
+  rule_unchecked_io(analysis);
   for (Finding& finding : analysis.findings) {
     if (analysis.suppressions.covers(finding.line, finding.rule)) continue;
     findings.push_back(std::move(finding));
@@ -944,10 +1008,19 @@ void rule_verb_exhaustive(const std::vector<FileAnalysis>& files,
         std::vector<std::tuple<std::string, long, std::size_t>> members;
         for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
           if (!is_ident_token(tokens[i], "ErrorCode")) continue;
-          if (tokens[i + 1].kind != TokenKind::kPunct || tokens[i + 1].text != "{")
+          // Accept an enum-base clause between the name and the brace
+          // (`enum class ErrorCode : int {`): skip from the `:` to the `{`.
+          std::size_t open = i + 1;
+          if (tokens[open].kind == TokenKind::kPunct && tokens[open].text == ":")
+            while (open < tokens.size() &&
+                   !(tokens[open].kind == TokenKind::kPunct &&
+                     tokens[open].text == "{"))
+              ++open;
+          if (open >= tokens.size() || tokens[open].kind != TokenKind::kPunct ||
+              tokens[open].text != "{")
             continue;
           long next_value = 0;
-          for (std::size_t j = i + 2; j < tokens.size(); ++j) {
+          for (std::size_t j = open + 1; j < tokens.size(); ++j) {
             const Token& t = tokens[j];
             if (t.kind == TokenKind::kPunct && t.text == "}") break;
             if (t.kind != TokenKind::kIdentifier) continue;
@@ -1061,6 +1134,11 @@ const std::vector<RuleInfo>& rules() {
        "push/emplace onto long-lived state under src/service/ or "
        "src/core/harness/ with no cap or trim in sight; an always-on daemon "
        "must bound every container (window, watermark, or rolling cap)"},
+      {kUncheckedIo,
+       "write/pwrite/fsync/fdatasync/rename/ftruncate result discarded under "
+       "src/core/harness/ or src/service/ (raw spelling or the FileOps "
+       "layer); a failed durability call that nobody checks turns a storage "
+       "fault into silent data loss"},
       {kUnorderedSerialize,
        "std::unordered_{map,set} in a file that serializes output; iteration "
        "order is nondeterministic, so artifact bytes can vary run to run"},
